@@ -1,0 +1,71 @@
+"""Ablations beyond the paper: what each schedule-space dimension buys.
+
+DESIGN.md calls out three swATOP design choices; these benches measure
+the cost of removing each from the GEMM schedule space:
+
+* **layout transformation** (SPM operand layouts, Sec. 4.3.2),
+* **vectorization transformation** (vec-M vs vec-N, Sec. 4.3.3),
+* **DMA hoisting** (kept implicitly: quantified via loop-order choice).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autotuner import tune_with_model
+from repro.harness.report import Table
+from repro.ops.gemm import make_compute, make_space
+
+
+def _tuned_cycles(m, n, k, *, layouts=True, vectorization=True, quick=True):
+    cd = make_compute(m, n, k)
+    sp = make_space(cd, quick=quick, layouts=layouts, vectorization=vectorization)
+    return tune_with_model(cd, sp, run_best=True).report.cycles
+
+
+SHAPES = [(512, 512, 512), (64, 2048, 256), (2048, 64, 256)]
+
+
+def test_ablation_vectorization(benchmark, show):
+    def run():
+        rows = []
+        for m, n, k in SHAPES:
+            full = _tuned_cycles(m, n, k)
+            frozen = _tuned_cycles(m, n, k, vectorization=False)
+            rows.append((m, n, k, full, frozen))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table(
+        "Ablation: vectorization choice removed (vec-M forced)",
+        ["shape", "full space", "no vec choice", "slowdown"],
+    )
+    for m, n, k, full, frozen in rows:
+        t.add(f"{m}x{n}x{k}", f"{full:.3g}", f"{frozen:.3g}",
+              f"{frozen / full:.2f}x")
+    show(t)
+    # skinny-M shapes need vec-N: freezing the choice must cost there
+    skinny = [r for r in rows if r[0] < r[1]]
+    assert any(frozen > full * 1.1 for *_, full, frozen in skinny)
+
+
+def test_ablation_layouts(benchmark, show):
+    def run():
+        rows = []
+        for m, n, k in SHAPES:
+            full = _tuned_cycles(m, n, k)
+            frozen = _tuned_cycles(m, n, k, layouts=False)
+            rows.append((m, n, k, full, frozen))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table(
+        "Ablation: SPM layout choice removed",
+        ["shape", "full space", "no layout choice", "slowdown"],
+    )
+    for m, n, k, full, frozen in rows:
+        t.add(f"{m}x{n}x{k}", f"{full:.3g}", f"{frozen:.3g}",
+              f"{frozen / full:.2f}x")
+    show(t)
+    # the frozen space is a subset: it can never beat the full space by
+    # more than model noise
+    assert all(frozen >= full * 0.92 for *_, full, frozen in rows)

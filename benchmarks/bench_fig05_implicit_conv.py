@@ -1,0 +1,24 @@
+"""Fig. 5: implicit CONV, swATOP vs swDNN on VGG16/ResNet/Yolo layers.
+
+Paper expectation: swATOP is never slower than swDNN; average speedup
+1.44 (batch 32) and 1.32 (batch 128); batch 1 has no manual kernel but
+swATOP reaches big-batch-class efficiency.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_fig5_implicit_conv(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: E.fig5_implicit_conv(scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    show(result.table())
+    speedups = result.speedups()
+    assert speedups, "no comparable layers ran"
+    # shape of the result: swATOP wins the clear majority of layers
+    wins = sum(s > 0.99 for s in speedups)
+    assert wins / len(speedups) >= 0.7
+    # batch-1 rows exist and executed even without a manual kernel
+    assert any(r.batch == 1 and r.speedup is None for r in result.rows)

@@ -1,0 +1,22 @@
+"""Fig. 6: Winograd CONV, swATOP vs the xMath-based manual pipeline.
+
+Paper expectation: average speedups 2.20/2.35/2.33 for batch 1/32/128.
+"""
+
+import statistics
+
+from repro.harness import experiments as E
+
+
+def test_fig6_winograd_conv(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: E.fig6_winograd_conv(scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    show(result.table())
+    speedups = result.speedups()
+    assert speedups
+    # swATOP wins everywhere, by a clearly super-unity average
+    assert all(s > 1.0 for s in speedups)
+    assert statistics.mean(speedups) > 1.3

@@ -1,0 +1,20 @@
+"""Fig. 7: explicit CONV, swATOP vs naive im2col + xMath.
+
+Paper expectation: swATOP faster in 40/29/32 of 43 cases per batch
+size; best speedup 15.2x; small-batch speedups exceed big-batch ones.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_fig7_explicit_conv(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: E.fig7_explicit_conv(scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    show(result.table())
+    speedups = result.speedups()
+    assert speedups
+    wins = sum(s > 1.0 for s in speedups)
+    assert wins / len(speedups) >= 0.6  # majority, losses allowed

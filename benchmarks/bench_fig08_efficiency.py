@@ -1,0 +1,31 @@
+"""Fig. 8: absolute throughput/efficiency of the three CONV methods
+over the versatility sweep.
+
+Paper expectation: implicit ~70% of peak (>2.1 TFLOPS) for training
+batches; Winograd effective efficiency can exceed 100% (direct-conv
+FLOP normalisation); explicit is the lowest of the three.
+"""
+
+import statistics
+
+from repro.harness import experiments as E
+
+
+def test_fig8_efficiency(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: E.tab1_fig8_versatility(scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    show(result.fig8())
+    by = result.by_method_batch()
+    train_batches = [b for b in scale.batches if b >= 32]
+    if train_batches:
+        b = train_batches[0]
+        imp = [r.swatop_eff for r in by.get(("implicit", b), [])]
+        exp = [r.swatop_eff for r in by.get(("explicit", b), [])]
+        if imp:
+            assert statistics.mean(imp) > 0.2  # well off the floor
+        if imp and exp:
+            # explicit trails implicit on average (the paper's ordering)
+            assert statistics.mean(exp) <= statistics.mean(imp) * 1.2

@@ -1,0 +1,27 @@
+"""Fig. 9: performance of the model-picked schedule vs the true
+brute-force optimum.
+
+Paper expectation: average performance loss below 2%, worst case below
+8% -- the static model is accurate enough to replace exhaustive search.
+"""
+
+import statistics
+
+from repro.harness import experiments as E
+
+
+def test_fig9_model_accuracy(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: E.fig9_model_accuracy(scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    show(result.table())
+    ratios = [r.ratio for r in result.rows]
+    assert ratios
+    mean_loss = 1 - statistics.mean(ratios)
+    worst_loss = 1 - min(ratios)
+    # small average loss; worst case bounded (paper: <2% / <8%; we allow
+    # a margin for the scaled-down shapes)
+    assert mean_loss < 0.08
+    assert worst_loss < 0.20

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table/figure of the paper through the
+harness drivers and prints the rendered table.  Because pytest captures
+stdout of passing tests, each table is *also* appended to
+``bench_tables.txt`` at the repository root, so a plain
+``pytest benchmarks/ --benchmark-only`` run still leaves the full
+paper-vs-measured tables on disk.  The ``REPRO_SCALE`` environment
+variable selects the evaluation scale (``smoke``/``default``/``full``);
+see DESIGN.md Sec. 6 and EXPERIMENTS.md.
+"""
+
+import datetime
+from pathlib import Path
+
+import pytest
+
+from repro.harness.scales import get_scale
+
+_TABLES_PATH = Path(__file__).resolve().parents[1] / "bench_tables.txt"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    sc = get_scale()
+    print(f"\n[repro] running benchmarks at scale {sc.name!r}")
+    stamp = datetime.datetime.now().isoformat(timespec="seconds")
+    with _TABLES_PATH.open("a") as fh:
+        fh.write(f"\n{'=' * 72}\nbenchmark session {stamp} "
+                 f"(scale {sc.name})\n{'=' * 72}\n")
+    return sc
+
+
+@pytest.fixture
+def show():
+    def _show(table):
+        text = table.render() if hasattr(table, "render") else str(table)
+        print("\n" + text + "\n")
+        with _TABLES_PATH.open("a") as fh:
+            fh.write("\n" + text + "\n")
+        return text
+
+    return _show

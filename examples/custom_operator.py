@@ -1,0 +1,80 @@
+"""Define and tune a *new* operator with the swATOP DSL.
+
+The paper's DSL is not conv/GEMM-specific: any arithmetic-intensive
+operator whose core is a tensorized GEMM can be described as a seed +
+schedule space.  This example builds a **batched multi-head attention
+score** operator -- ``S[h, q, k] = Q[h, q, d] @ K[h, d, k]`` over
+``h`` independent heads -- and lets swATOP tune it, demonstrating:
+
+* a user-defined seed with a batch axis the scheduler streams over,
+* automatic DMA inference / double buffering on the custom operator,
+* the GEMM-batch fusion opportunity the schedule exposes.
+
+Run:  python examples/custom_operator.py
+"""
+
+import numpy as np
+
+from repro.autotuner import tune_with_model
+from repro.codegen.executor import CompiledKernel
+from repro.dsl import ComputeDef, ScheduleSpace
+from repro.ir import pretty
+from repro.machine.config import default_config
+
+
+def make_attention_scores(heads: int, seq: int, dim: int):
+    """Seed: per-head score matrix S = Q @ K (pre-softmax)."""
+    cd = ComputeDef(f"attn_scores_h{heads}_s{seq}_d{dim}")
+    cd.axis("H", heads)                 # independent heads: streamed
+    cd.axis("Qs", seq)                  # query positions -> GEMM M
+    cd.axis("Ks", seq)                  # key positions   -> GEMM N
+    cd.axis("D", dim, reduction=True)   # head dim        -> GEMM K
+    cd.tensor("Q", ["H", "Qs", "D"], "input")
+    cd.tensor("K", ["H", "D", "Ks"], "input")
+    cd.tensor("S", ["H", "Qs", "Ks"], "output")
+    cd.define_gemm("S", "Q", "K", m="Qs", n=["Ks"], k="D")
+    return cd
+
+
+def make_space(cd: ComputeDef) -> ScheduleSpace:
+    sp = ScheduleSpace(cd)
+    seq = cd.axes["Qs"].extent
+    sp.split("H", [1])  # one head per streamed tile
+    sp.split("Qs", [t for t in (64, 128, 256) if t <= seq] or [seq])
+    sp.split("Ks", [t for t in (64, 128, 256) if t <= seq] or [seq])
+    sp.split("D", [cd.axes["D"].extent])
+    sp.vectorize()
+    sp.spm_layout("a")
+    sp.spm_layout("b")
+    return sp
+
+
+def main() -> None:
+    heads, seq, dim = 8, 256, 64
+    cd = make_attention_scores(heads, seq, dim)
+    sp = make_space(cd)
+    print(f"== custom operator: {cd.name} ==")
+    print(f"schedule space: {sp.size()} strategies\n")
+
+    result = tune_with_model(cd, sp)
+    print(f"tuned in {result.wall_seconds:.2f}s; best: "
+          f"{result.best.candidate.strategy.describe()}\n")
+    print("optimized IR:")
+    print(pretty(result.best.candidate.kernel)[:1400], "\n...\n")
+
+    rng = np.random.default_rng(0)
+    q = rng.standard_normal((heads, seq, dim)).astype(np.float32)
+    k = rng.standard_normal((heads, dim, seq)).astype(np.float32)
+    ck = CompiledKernel(result.best.candidate.kernel, cd, default_config())
+    run = ck.run({"Q": q, "K": k})
+    ref = np.einsum("hqd,hdk->hqk", q, k)
+    err = float(np.abs(run.outputs["S"] - ref).max())
+    rep = run.report
+    print(f"simulated: {rep.cycles:,.0f} cycles, "
+          f"{rep.gflops:.0f} GFLOPS ({rep.efficiency:.1%} of one CG), "
+          f"overlap {rep.overlap_fraction:.0%}")
+    print(f"max |error| vs NumPy einsum: {err:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Tune the convolution layers of VGG16 against the manual libraries.
+
+A per-layer report in the spirit of Fig. 5/6: for each VGG16 conv
+layer, swATOP tunes the best applicable method and is compared with the
+hand-written baseline.  Shapes are scaled down for the simulator (see
+DESIGN.md Sec. 6); pass a scale name to override:
+
+  python examples/tune_vgg16.py [smoke|default|full]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.harness.report import Table
+from repro.harness.runner import CONV_RUNNERS
+from repro.harness.scales import get_scale
+from repro.machine.config import default_config
+from repro.ops import applicable_methods, select_method
+from repro.workloads import conv_layers, network
+
+
+def main() -> None:
+    scale = get_scale(sys.argv[1] if len(sys.argv) > 1 else "smoke")
+    batch = 32
+    cfg = default_config()
+    rng = np.random.default_rng(0)
+
+    table = Table(
+        f"VGG16 @ batch {batch} ({scale.name} scale, spatial / "
+        f"{scale.spatial_scale})",
+        ["layer", "shape", "method", "swATOP", "manual", "speedup", "eff"],
+    )
+    for spec in network("vgg16"):
+        params = spec.params(batch, scale=scale.spatial_scale)
+        if params.flops > scale.max_flops:
+            continue
+        methods = applicable_methods(params)
+        if not methods:
+            table.add(spec.name, params.describe(), "-", "-", "-", "-", "-")
+            continue
+        method = select_method(params)
+        runner = CONV_RUNNERS[method]
+        x = rng.standard_normal(params.input_shape).astype(np.float32)
+        w = rng.standard_normal(params.weight_shape).astype(np.float32)
+        rs = runner(params, x, w, library="swatop", quick=scale.quick,
+                    collect_output=False)
+        baseline = "swdnn" if method == "implicit" else "manual"
+        try:
+            rb = runner(params, x, w, library=baseline, collect_output=False)
+            manual = f"{rb.cycles:,.0f}"
+            speedup = f"{rb.cycles / rs.cycles:.2f}x"
+        except Exception:
+            manual, speedup = "n/a", "n/a"
+        eff = params.flops / rs.report.seconds / (
+            rs.report.num_cgs_used * cfg.cg_peak_flops
+        )
+        table.add(
+            spec.name,
+            f"{params.ni}->{params.no} @{params.ro}",
+            method,
+            f"{rs.cycles:,.0f}",
+            manual,
+            speedup,
+            f"{eff:.0%}",
+        )
+    table.note("cycles are simulated SW26010 cycles; eff = fraction of "
+               "engaged core groups' peak")
+    print(table)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Winograd convolution, stage by stage.
+
+Breaks the F(2x2, 3x3) pipeline (Fig. 2 middle) into its stages and
+shows where swATOP's advantage over the per-GEMM manual pipeline comes
+from: the 16 small multiplications become one tuned, streamed batched
+GEMM instead of 16 separate library calls.
+
+Run:  python examples/winograd_deep_dive.py
+"""
+
+import numpy as np
+
+from repro.harness.runner import run_conv_winograd
+from repro.machine.config import default_config
+from repro.ops import conv_winograd
+from repro.ops.conv_common import ConvParams
+from repro.ops.direct import conv2d_reference
+
+
+def main() -> None:
+    params = ConvParams(batch=32, ni=128, no=128, ri=14, ci=14,
+                        kr=3, kc=3, pad=1)
+    cfg = default_config()
+    print(f"== Winograd F(2x2,3x3) on {params.describe()} ==\n")
+
+    tr, tc, p = conv_winograd.tile_counts(params)
+    print(f"tile grid {tr}x{tc} -> P = {p} tiles per CG shard; "
+          f"{conv_winograd.NUM_GEMMS} GEMMs of "
+          f"[{params.no} x {params.ni}] @ [{params.ni} x P]")
+    direct_flops = params.flops
+    wino_flops = 2 * conv_winograd.NUM_GEMMS * params.no * params.ni * p * 4
+    print(f"arithmetic reduction vs direct conv: "
+          f"{direct_flops / wino_flops:.2f}x\n")
+
+    print("transform-stage costs (one CG shard):")
+    shard = params.with_batch(max(1, params.batch // cfg.num_cgs))
+    for rep in (
+        conv_winograd.filter_transform_report(shard, cfg),
+        conv_winograd.input_transform_report(shard, cfg),
+        conv_winograd.output_transform_report(shard, cfg),
+    ):
+        print(f"  {rep.detail:28s} {rep.cycles:12,.0f} cycles "
+              f"({rep.bytes_moved / 1e6:.2f} MB moved)")
+
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(params.input_shape).astype(np.float32)
+    w = rng.standard_normal(params.weight_shape).astype(np.float32)
+    ref = conv2d_reference(x, w, params)
+
+    print("\nend-to-end (chip, 4 CGs):")
+    for lib in ("swatop", "manual"):
+        run = run_conv_winograd(params, x, w, library=lib, quick=True)
+        ok = np.allclose(run.output, ref, rtol=1e-3, atol=1e-2)
+        eff = params.flops / run.report.seconds / (
+            run.report.num_cgs_used * cfg.cg_peak_flops
+        )
+        print(f"  {lib:7s}: {run.cycles:12,.0f} cycles, "
+              f"effective eff {eff:6.1%}, correct={ok}")
+
+    print("\nF(4x4,3x3) variant (4x multiply reduction, heavier transforms):")
+    for variant in ("f22", "f44"):
+        run = run_conv_winograd(params, x, w, quick=True, variant=variant,
+                                collect_output=False)
+        print(f"  {variant}: {run.cycles:12,.0f} cycles")
+    print("variant='auto' tunes both and keeps the faster per shape.")
+
+    print("\nthe manual pipeline pays 16 separate kernel launches (DMA "
+          "latency + xMath's square-tuned blocking on skinny matrices); "
+          "swATOP's batched seed streams all 16 through one tuned, "
+          "double-buffered schedule (paper Fig. 6: 2.2-2.35x).")
+
+
+if __name__ == "__main__":
+    main()

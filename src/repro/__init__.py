@@ -1,0 +1,57 @@
+"""swATOP reproduction: autotuned DL operators on a simulated SW26010.
+
+Reproduction of Gao et al., "swATOP: Automatically Optimizing Deep
+Learning Operators on SW26010 Many-Core Processor" (ICPP 2019).  See
+README.md for a tour, DESIGN.md for the system inventory and the
+hardware-substitution argument, and EXPERIMENTS.md for paper-vs-measured
+results.
+
+The public API most users want:
+
+* :class:`repro.runtime.AtopLibrary` -- tuned operators with a kernel
+  cache (conv2d / gemm);
+* :func:`repro.autotuner.tune_with_model` /
+  :func:`repro.autotuner.tune_blackbox` -- the two autotuners over a
+  DSL-defined schedule space;
+* :class:`repro.codegen.CompiledKernel` -- execute an optimized kernel
+  on the simulated machine;
+* :mod:`repro.harness.experiments` -- regenerate any paper experiment
+  (also via ``python -m repro <fig5|...|tab3>``).
+"""
+
+from . import (
+    autotuner,
+    baselines,
+    codegen,
+    dsl,
+    harness,
+    ir,
+    machine,
+    ops,
+    optimizer,
+    primitives,
+    runtime,
+    scheduler,
+    workloads,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "machine",
+    "primitives",
+    "dsl",
+    "ir",
+    "scheduler",
+    "optimizer",
+    "autotuner",
+    "codegen",
+    "ops",
+    "baselines",
+    "workloads",
+    "harness",
+    "runtime",
+    "ReproError",
+    "__version__",
+]

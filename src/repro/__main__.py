@@ -1,0 +1,79 @@
+"""Command-line entry point: regenerate any paper experiment.
+
+    python -m repro <experiment> [--scale smoke|default|full]
+
+Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 tab1 tab2 tab3, or
+``all``.  Output is the same table the corresponding benchmark prints,
+with the paper's expected values in the notes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .harness import experiments as E
+from .harness.scales import SCALES, get_scale
+
+
+def _tables(name: str, scale):
+    if name == "fig5":
+        yield E.fig5_implicit_conv(scale=scale).table()
+    elif name == "fig6":
+        yield E.fig6_winograd_conv(scale=scale).table()
+    elif name == "fig7":
+        yield E.fig7_explicit_conv(scale=scale).table()
+    elif name in ("tab1", "fig8"):
+        res = E.tab1_fig8_versatility(scale=scale)
+        yield res.tab1() if name == "tab1" else res.fig8()
+    elif name == "tab2":
+        yield E.tab2_gemm(scale=scale).table()
+    elif name == "tab3":
+        yield E.tab3_tuning_time(scale=scale).table()
+    elif name == "fig9":
+        yield E.fig9_model_accuracy(scale=scale).table()
+    elif name == "fig10":
+        yield E.fig10_prefetch(scale=scale).table()
+    elif name == "fig11":
+        yield E.fig11_padding(scale=scale).table()
+    else:
+        raise SystemExit(f"unknown experiment {name!r}")
+
+
+EXPERIMENTS = (
+    "fig5", "fig6", "fig7", "tab1", "fig8",
+    "tab2", "tab3", "fig9", "fig10", "fig11",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate swATOP paper experiments on the "
+                    "simulated SW26010.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=(*EXPERIMENTS, "all"),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="evaluation scale (default: $REPRO_SCALE or 'default')",
+    )
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        t0 = time.perf_counter()
+        for table in _tables(name, scale):
+            print(table.render())
+        print(f"[{name}: {time.perf_counter() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Autotuning (Sec. 4.6): static cost model, calibration, tuners."""
+
+from .blackbox import tune_blackbox
+from .calibrate import (
+    DEFAULT_GRID,
+    calibration_samples,
+    default_coeffs,
+    fit_all,
+    fit_quality,
+    fit_variant,
+)
+from .cost_model import (
+    GemmCoeffs,
+    PredictedTime,
+    eq2_features,
+    predict_dma,
+    predict_gemm,
+    predict_kernel,
+)
+from .model_tuner import synthetic_feeds, tune_with_model
+from .result import CandidateScore, TuningResult
+
+__all__ = [
+    "predict_kernel",
+    "predict_gemm",
+    "predict_dma",
+    "eq2_features",
+    "PredictedTime",
+    "GemmCoeffs",
+    "fit_variant",
+    "fit_all",
+    "fit_quality",
+    "default_coeffs",
+    "calibration_samples",
+    "DEFAULT_GRID",
+    "tune_with_model",
+    "tune_blackbox",
+    "synthetic_feeds",
+    "CandidateScore",
+    "TuningResult",
+]

@@ -1,0 +1,87 @@
+"""The black-box autotuner: brute-force baseline (Sec. 4.6, Tab. 3).
+
+"Generates code for all schedule IRs and picks the best one by
+collecting real execution time."  Every legal candidate is compiled and
+executed on the simulated machine; the wall-clock cost of doing so is
+exactly the tuning-time penalty Tab. 3 quantifies against the
+model-based tuner.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..codegen.executor import CompiledKernel
+from ..dsl.compute import ComputeDef
+from ..dsl.schedule import ScheduleSpace
+from ..errors import TuningError
+from ..machine.config import MachineConfig, default_config
+from ..optimizer.dma_inference import infer_dma
+from ..optimizer.prefetch import apply_prefetch
+from ..scheduler.enumerate import Candidate, EnumerationStats, iter_candidates
+from ..scheduler.lower import LoweringOptions
+from .model_tuner import synthetic_feeds
+from .result import CandidateScore, TuningResult
+
+
+def tune_blackbox(
+    compute: ComputeDef,
+    space: ScheduleSpace,
+    *,
+    config: Optional[MachineConfig] = None,
+    options: Optional[LoweringOptions] = None,
+    prefetch: bool = True,
+    feeds: Optional[Dict[str, np.ndarray]] = None,
+    keep_scores: bool = False,
+    limit: Optional[int] = None,
+) -> TuningResult:
+    """Execute every legal candidate; return the measured best.
+
+    ``limit`` caps the number of executed candidates (used by smoke
+    benches; the paper's black-box numbers use the full space).
+    """
+    cfg = config or default_config()
+    data = feeds if feeds is not None else synthetic_feeds(compute)
+    t0 = time.perf_counter()
+
+    stats = EnumerationStats()
+    scores: List[CandidateScore] = []
+    best: Optional[CandidateScore] = None
+    best_report = None
+    for cand in iter_candidates(
+        compute, space, options=options, config=cfg, stats=stats
+    ):
+        kernel = infer_dma(cand.kernel, compute, cfg)
+        if prefetch:
+            kernel = apply_prefetch(kernel)
+        ck = CompiledKernel(kernel, compute, cfg)
+        report = ck.run(data).report
+        score = CandidateScore(
+            candidate=Candidate(cand.strategy, kernel, compute),
+            measured_cycles=report.cycles,
+        )
+        if keep_scores:
+            scores.append(score)
+        if best is None or report.cycles < (best.measured_cycles or float("inf")):
+            best = score
+            best_report = report
+        if limit is not None and stats.legal >= limit:
+            break
+    if best is None:
+        raise TuningError(
+            f"schedule space of {compute.name!r} has no legal candidates"
+        )
+    wall = time.perf_counter() - t0
+    return TuningResult(
+        best=best,
+        space_size=stats.declared,
+        legal_count=stats.legal,
+        evaluated=stats.legal,
+        wall_seconds=wall,
+        method="blackbox",
+        scores=scores,
+        report=best_report,
+    )

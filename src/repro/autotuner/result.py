@@ -1,0 +1,51 @@
+"""Tuning result records shared by both autotuners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..machine.trace import SimReport
+from ..scheduler.enumerate import Candidate
+
+
+@dataclass
+class CandidateScore:
+    """One candidate's evaluation."""
+
+    candidate: Candidate
+    predicted_cycles: Optional[float] = None
+    measured_cycles: Optional[float] = None
+
+    @property
+    def cycles(self) -> float:
+        if self.measured_cycles is not None:
+            return self.measured_cycles
+        if self.predicted_cycles is not None:
+            return self.predicted_cycles
+        raise ValueError("candidate was never evaluated")
+
+
+@dataclass
+class TuningResult:
+    """Outcome of tuning one operator configuration."""
+
+    best: CandidateScore
+    space_size: int          # declared schedule-space size
+    legal_count: int         # candidates surviving pruning
+    evaluated: int           # candidates actually scored
+    wall_seconds: float      # tuning time (the Tab. 3 quantity)
+    method: str              # "model" or "blackbox"
+    scores: List[CandidateScore] = field(default_factory=list)
+    report: Optional[SimReport] = None  # measured run of the winner
+
+    def summary(self) -> str:
+        cyc = (
+            f"{self.report.cycles:.3g} cycles (measured)"
+            if self.report is not None
+            else f"{self.best.cycles:.3g} cycles"
+        )
+        return (
+            f"[{self.method}] space={self.space_size} legal={self.legal_count} "
+            f"evaluated={self.evaluated} wall={self.wall_seconds:.2f}s best={cyc}"
+        )

@@ -1,0 +1,5 @@
+"""Hand-optimised manual libraries swATOP is compared against."""
+
+from . import swdnn, swtvm, xmath
+
+__all__ = ["swdnn", "swtvm", "xmath"]

@@ -1,0 +1,38 @@
+"""Code generation: executable simulation kernels and C source emission."""
+
+from typing import Optional
+
+from ..machine.config import MachineConfig, default_config
+from ..optimizer.dma_inference import infer_dma
+from ..optimizer.prefetch import apply_prefetch
+from ..scheduler.enumerate import Candidate
+from .c_emitter import emit_c
+from .executor import CompiledKernel, RunResult
+
+
+def compile_candidate(
+    candidate: Candidate,
+    *,
+    prefetch: bool = True,
+    config: Optional[MachineConfig] = None,
+) -> CompiledKernel:
+    """Run the optimizer pipeline on a raw candidate and bind it to the
+    machine: DMA inference (+hoisting), then automatic latency hiding.
+
+    ``prefetch=False`` builds the Fig. 10 baseline (no double
+    buffering); note the candidate must then have been lowered with
+    ``LoweringOptions(double_buffer=False)`` for a fair SPM budget.
+    """
+    cfg = config or default_config()
+    kernel = infer_dma(candidate.kernel, candidate.compute, cfg)
+    if prefetch:
+        kernel = apply_prefetch(kernel)
+    return CompiledKernel(kernel, candidate.compute, cfg)
+
+
+__all__ = [
+    "CompiledKernel",
+    "RunResult",
+    "compile_candidate",
+    "emit_c",
+]

@@ -1,0 +1,431 @@
+"""Executable kernels: interpret optimized IR on the simulated SW26010.
+
+This is the reproduction's equivalent of the paper's "generate machine
+code and run it on the processor": a :class:`CompiledKernel` binds a
+kernel IR to the machine model and its :meth:`~CompiledKernel.run`
+produces both the *functional* result (exact NumPy arithmetic on the
+tiles the DMA engine actually moved) and the *timing* result (a
+:class:`~repro.machine.trace.SimReport` from transaction-accurate DMA
+costs, structural GEMM cycle counts, and discrete-event overlap of the
+DMA engine with compute under double buffering).
+
+Timing model: one compute timeline (``now``) plus one DMA-engine
+timeline (``dma_free``) per core group.  Synchronous transfers advance
+both; a ``pipelined`` loop issues iteration ``i+1``'s transfers when
+iteration ``i`` starts computing, so the makespan of a streaming loop
+approaches ``dma(0) + sum(max(compute_i, dma_{i+1}))`` -- the
+``max(T_DMA, T_compute)`` behaviour Eq. (1)/(2) of the cost model
+approximate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..dsl.compute import ComputeDef, ROLE_OUTPUT
+from ..errors import CodegenError
+from ..ir.nodes import (
+    AllocSpmNode,
+    ComputeOpNode,
+    DmaCgNode,
+    DmaWaitNode,
+    ForNode,
+    GemmOpNode,
+    IfThenElseNode,
+    KernelNode,
+    Node,
+    SeqNode,
+    TileAccess,
+    ZeroSpmNode,
+)
+from ..machine.config import MachineConfig, default_config
+from ..machine.dma import MEM_TO_SPM
+from ..machine.memory import MainMemory
+from ..machine.spm import partition_extent
+from ..machine.trace import SimReport, Trace
+from ..optimizer.dma_inference import flatten_access, storage_shapes
+from ..optimizer.memplan import plan_spm
+from ..optimizer.prefetch import direct_stream_dmas
+from ..primitives.gemm_kernel import kernel_cycles
+
+
+@dataclass
+class RunResult:
+    outputs: Dict[str, np.ndarray]
+    report: SimReport
+
+
+class CompiledKernel:
+    """An optimized kernel bound to the machine model."""
+
+    def __init__(
+        self,
+        kernel: KernelNode,
+        compute: ComputeDef,
+        config: Optional[MachineConfig] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.compute = compute
+        self.config = config or default_config()
+        self.spm_plan = plan_spm(kernel, self.config)  # validates capacity
+        self.storage_shapes = storage_shapes(kernel, compute)
+        self._validate()
+
+    def _validate(self) -> None:
+        from ..ir.visitors import find_all
+
+        for dma in find_all(self.kernel, DmaCgNode):
+            if dma.geometry is None:
+                raise CodegenError(
+                    "kernel has un-inferred DMA nodes; run "
+                    "optimizer.infer_dma before building a CompiledKernel"
+                )
+            if dma.access.buffer not in self.compute.tensors:
+                raise CodegenError(
+                    f"DMA references unknown tensor {dma.access.buffer!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def run(self, feeds: Dict[str, np.ndarray]) -> RunResult:
+        """Execute the kernel.
+
+        ``feeds`` maps every non-output tensor name to an array in the
+        seed's *logical* dimension order; the runner packs it into the
+        kernel's chosen storage layout (layout conversion is part of
+        the operator contract, as in swDNN/xMath).  Output tensors are
+        returned in logical order.
+        """
+        state = _ExecState(self, feeds)
+        state.execute(self.kernel.body, {})
+        outputs = state.collect_outputs()
+        report = SimReport.from_trace(
+            state.trace,
+            makespan=state.now,
+            num_cgs_used=1,
+            config=self.config,
+            detail=self.kernel.name,
+        )
+        return RunResult(outputs=outputs, report=report)
+
+    def time_only(self, feeds: Dict[str, np.ndarray]) -> SimReport:
+        return self.run(feeds).report
+
+
+class _ExecState:
+    """Mutable interpreter state for one kernel run on one CG."""
+
+    def __init__(self, ck: CompiledKernel, feeds: Dict[str, np.ndarray]) -> None:
+        self.ck = ck
+        self.cfg = ck.config
+        self.now = 0.0
+        self.dma_free = 0.0
+        self.trace = Trace()
+        self.memory = MainMemory(config=self.cfg)
+        self._storage: Dict[str, np.ndarray] = {}
+        self._buffers = {}
+        self._spm: Dict[str, List[np.ndarray]] = {}
+        self._read_phase: Dict[str, int] = {}
+        from ..ir.visitors import find_all
+
+        self._dma_in_targets = {
+            d.spm
+            for d in find_all(ck.kernel, DmaCgNode)
+            if d.direction == MEM_TO_SPM
+        }
+        self._bind_tensors(feeds)
+        self._bind_spm()
+
+    # --- setup -------------------------------------------------------------
+    def _bind_tensors(self, feeds: Dict[str, np.ndarray]) -> None:
+        compute = self.ck.compute
+        for name, spec in compute.tensors.items():
+            logical_shape = compute.tensor_shape(name)
+            perm = self.ck.kernel.tensor_layouts.get(
+                name, tuple(range(len(logical_shape)))
+            )
+            storage_shape = self.ck.storage_shapes[name]
+            buf = self.memory.alloc(name, storage_shape)
+            view = self.memory.view(buf)
+            if spec.role == ROLE_OUTPUT:
+                view[...] = 0.0
+            else:
+                if name not in feeds:
+                    raise CodegenError(f"missing feed for tensor {name!r}")
+                data = np.asarray(feeds[name], dtype=np.float32)
+                if tuple(data.shape) != logical_shape:
+                    raise CodegenError(
+                        f"feed {name!r} has shape {data.shape}, "
+                        f"expected {logical_shape}"
+                    )
+                view[...] = data.transpose(perm)
+            self._buffers[name] = buf
+            self._storage[name] = view
+
+    def _bind_spm(self) -> None:
+        for alloc in self.ck.kernel.allocs:
+            phases = 2 if alloc.double_buffered else 1
+            self._spm[alloc.name] = [
+                np.zeros(alloc.shape, dtype=np.float32) for _ in range(phases)
+            ]
+            self._read_phase[alloc.name] = 0
+
+    def collect_outputs(self) -> Dict[str, np.ndarray]:
+        out = {}
+        for name, spec in self.ck.compute.tensors.items():
+            if spec.role != ROLE_OUTPUT:
+                continue
+            perm = self.ck.kernel.tensor_layouts.get(name)
+            arr = self._storage[name]
+            if perm is None:
+                out[name] = arr.copy()
+            else:
+                inv = np.argsort(perm)
+                out[name] = np.ascontiguousarray(arr.transpose(inv))
+        return out
+
+    # --- dispatch -------------------------------------------------------------
+    def execute(
+        self,
+        node: Node,
+        env: Dict[str, int],
+        skip: Optional[Set[int]] = None,
+    ) -> None:
+        if skip is not None and id(node) in skip:
+            return
+        if isinstance(node, SeqNode):
+            for child in node.body:
+                self.execute(child, env, skip)
+        elif isinstance(node, ForNode):
+            if node.pipelined:
+                self._exec_pipelined(node, env, skip)
+            else:
+                for i in range(node.extent):
+                    self.execute(node.body, {**env, node.var: i}, skip)
+        elif isinstance(node, IfThenElseNode):
+            if node.cond.evaluate(env):
+                self.execute(node.then_body, env, skip)
+            elif node.else_body is not None:
+                self.execute(node.else_body, env, skip)
+        elif isinstance(node, DmaCgNode):
+            self._exec_dma_sync(node, env)
+        elif isinstance(node, GemmOpNode):
+            self._exec_gemm(node)
+        elif isinstance(node, ZeroSpmNode):
+            self._exec_zero(node)
+        elif isinstance(node, ComputeOpNode):
+            self.trace.add(
+                "transform", self.now, self.now + node.cycles,
+                detail=node.name, flops=node.flops,
+            )
+            self.now += node.cycles
+        elif isinstance(node, DmaWaitNode):
+            self.now = max(self.now, self.dma_free)
+        else:
+            raise CodegenError(f"executor cannot handle {type(node).__name__}")
+
+    # --- pipelined loop: the double-buffer overlap -----------------------------
+    def _exec_pipelined(
+        self,
+        node: ForNode,
+        env: Dict[str, int],
+        skip: Optional[Set[int]],
+    ) -> None:
+        dmas = direct_stream_dmas(node)
+        dma_ids = {id(d) for d in dmas}
+        if skip:
+            dma_ids |= skip
+        pending: Dict[int, float] = {}
+
+        def issue(i: int) -> None:
+            it_env = {**env, node.var: i}
+            finish = self.now
+            for dma in dmas:
+                cost, payload, paid = self._dma_cost(dma, it_env)
+                start = max(self.now, self.dma_free)
+                self.dma_free = start + cost
+                self._dma_move_in(dma, it_env, phase=i % 2)
+                self.trace.add(
+                    "dma", start, start + cost,
+                    detail=f"{dma.access.buffer}->spm:{dma.spm}",
+                    bytes_moved=payload, waste_bytes=paid - payload,
+                )
+                finish = max(finish, start + cost)
+            pending[i] = finish
+
+        if node.extent == 0:
+            return
+        issue(0)
+        for i in range(node.extent):
+            self.now = max(self.now, pending.pop(i))
+            if i + 1 < node.extent:
+                issue(i + 1)
+            for dma in dmas:
+                self._read_phase[dma.spm] = i % 2
+            self.execute(node.body, {**env, node.var: i}, dma_ids)
+
+    # --- DMA -------------------------------------------------------------------
+    def _exec_dma_sync(self, node: DmaCgNode, env: Dict[str, int]) -> None:
+        cost, payload, paid = self._dma_cost(node, env)
+        start = max(self.now, self.dma_free)
+        end = start + cost
+        self.now = end
+        self.dma_free = end
+        if node.direction == MEM_TO_SPM:
+            self._dma_move_in(node, env, phase=0)
+            self._read_phase[node.spm] = 0
+            arrow = f"{node.access.buffer}->spm:{node.spm}"
+        else:
+            self._dma_move_out(node, env)
+            arrow = f"spm:{node.spm}->{node.access.buffer}"
+        self.trace.add(
+            "dma", start, end, detail=arrow,
+            bytes_moved=payload, waste_bytes=paid - payload,
+        )
+
+    def _access_slices(
+        self, access: TileAccess, env: Dict[str, int]
+    ) -> Tuple[Tuple[slice, ...], Tuple[int, ...]]:
+        offs = []
+        shape = self.ck.storage_shapes[access.buffer]
+        for d, (off_expr, length) in enumerate(access.dims):
+            off = off_expr.evaluate(env)
+            if off < 0 or off + length > shape[d]:
+                raise CodegenError(
+                    f"access [{off}, {off + length}) outside dim {d} "
+                    f"(extent {shape[d]}) of {access.buffer!r}"
+                )
+            offs.append(off)
+        slices = tuple(
+            slice(off, off + length)
+            for off, (_, length) in zip(offs, access.dims)
+        )
+        return slices, tuple(offs)
+
+    def _dma_move_in(
+        self, node: DmaCgNode, env: Dict[str, int], phase: int
+    ) -> None:
+        slices, _ = self._access_slices(node.access, env)
+        tile = self._spm[node.spm][phase % len(self._spm[node.spm])]
+        # zero first: boundary/padded tiles rely on clean pad lanes
+        tile[...] = 0.0
+        region = tuple(slice(0, length) for length in node.access.lengths)
+        tile[region] = self._storage[node.access.buffer][slices]
+
+    def _dma_move_out(self, node: DmaCgNode, env: Dict[str, int]) -> None:
+        slices, _ = self._access_slices(node.access, env)
+        tile = self._spm[node.spm][self._read_phase[node.spm]]
+        region = tuple(slice(0, length) for length in node.access.lengths)
+        self._storage[node.access.buffer][slices] = tile[region]
+
+    def _dma_cost(
+        self, node: DmaCgNode, env: Dict[str, int]
+    ) -> Tuple[float, int, int]:
+        """Transaction-accurate cycles of one CG-level transfer."""
+        cfg = self.cfg
+        access = node.access
+        shape = self.ck.storage_shapes[access.buffer]
+        flat = flatten_access(access.lengths, shape)
+        buf = self._buffers[access.buffer]
+        base_elem = 0
+        strides = [1] * len(shape)
+        for i in range(len(shape) - 2, -1, -1):
+            strides[i] = strides[i + 1] * shape[i + 1]
+        for (off_expr, _), stride in zip(access.dims, strides):
+            base_elem += off_expr.evaluate(env) * stride
+
+        eb = cfg.dtype_bytes
+        row_addrs = buf.addr + (base_elem + flat.chunk_offsets()) * eb
+        chunk_bytes = flat.chunk_elems * eb
+        payload = int(flat.elems) * eb
+
+        # per-CPE split: rows over the 8 cluster rows, the chunk over
+        # the 8 cluster columns; total paid traffic is what the memory
+        # controller sees.
+        txn = cfg.dram_transaction_bytes
+        paid = 0
+        col_parts = [
+            (c0 * eb, cl * eb)
+            for c0, cl in partition_extent(flat.chunk_elems, cfg.cluster_cols)
+            if cl > 0
+        ]
+        for c_off, c_len in col_parts:
+            addrs = row_addrs + c_off
+            first = (addrs // txn) * txn
+            last = -(-(addrs + c_len) // txn) * txn
+            paid += int(np.sum(last - first))
+
+        descs = node.geometry.n_descriptors if node.geometry else 1
+        cycles = (
+            cfg.dma_latency_cycles
+            + cfg.dma_issue_cycles * max(1, descs)
+            + paid / cfg.dram_bytes_per_cycle
+        )
+        return cycles, payload, paid
+
+    # --- compute ---------------------------------------------------------------
+    def _matrix_view(
+        self, name: str, lens: Sequence[int], mat_map, writable: bool
+    ):
+        tile = self._spm[name][self._read_phase[name]]
+        if len(lens) != tile.ndim:
+            raise CodegenError(
+                f"gemm views {name!r} with rank {len(lens)} but buffer "
+                f"has rank {tile.ndim}"
+            )
+        for length, cap in zip(lens, tile.shape):
+            if length > cap:
+                raise CodegenError(
+                    f"gemm view of {name!r} exceeds its SPM allocation "
+                    f"({tuple(lens)} > {tile.shape})"
+                )
+        region = tile[tuple(slice(0, l) for l in lens)]
+        rows, cols = mat_map
+        perm = tuple(rows) + tuple(cols)
+        r = math.prod(lens[i] for i in rows)
+        c = math.prod(lens[i] for i in cols)
+        t = region.transpose(perm)
+        if writable:
+            return t, (r, c)  # caller adds a reshaped RHS onto the view
+        return np.ascontiguousarray(t).reshape(r, c), (r, c)
+
+    def _exec_gemm(self, node: GemmOpNode) -> None:
+        a, (ar, ac) = self._matrix_view(node.a_spm, node.a_lens, node.a_map, False)
+        b, (br, bc) = self._matrix_view(node.b_spm, node.b_lens, node.b_map, False)
+        if (ar, ac) != (node.m, node.k) or (br, bc) != (node.k, node.n):
+            raise CodegenError(
+                f"gemm dims mismatch: A{ar, ac} B{br, bc} vs "
+                f"(M={node.m}, K={node.k}, N={node.n})"
+            )
+        result = a @ b
+        c_t, (cr, cc) = self._matrix_view(node.c_spm, node.c_lens, node.c_map, True)
+        if (cr, cc) != (node.m, node.n):
+            raise CodegenError(f"gemm C dims mismatch: {(cr, cc)} vs {(node.m, node.n)}")
+        if node.accumulate:
+            c_t += result.reshape(c_t.shape)
+        else:
+            c_t[...] = result.reshape(c_t.shape)
+        cost = kernel_cycles(node.m, node.n, node.k, node.variant, self.cfg)
+        self.trace.add(
+            "gemm", self.now, self.now + cost.total,
+            detail=node.variant.name, flops=node.flops,
+        )
+        self.now += cost.total
+
+    def _exec_zero(self, node: ZeroSpmNode) -> None:
+        # Buffers filled by mem->SPM DMA are zeroed at transfer time
+        # (see _dma_move_in), so their ZeroSpm is a timing-only pad
+        # charge: functionally clearing them here would race the
+        # prefetched phases of a pipelined loop.  Accumulator buffers
+        # (never DMA-in targets) are genuinely cleared.
+        if node.spm not in self._dma_in_targets:
+            for arr in self._spm[node.spm]:
+                arr[...] = 0.0
+        alloc = self.ck.kernel.alloc(node.spm)
+        per_cpe_elems = math.ceil(alloc.elems / self.cfg.cpes_per_cg)
+        cycles = math.ceil(per_cpe_elems / self.cfg.vector_lanes) + 10
+        self.trace.add("gemm", self.now, self.now + cycles, detail=f"zero:{node.spm}")
+        self.now += cycles

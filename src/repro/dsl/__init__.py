@@ -1,0 +1,39 @@
+"""Tensorized-primitive DSL: schedule seeds and schedule spaces (Sec. 4.2)."""
+
+from .compute import (
+    REDUCTION,
+    ROLE_INPUT,
+    ROLE_OUTPUT,
+    ROLE_WEIGHT,
+    SPATIAL,
+    Axis,
+    ComputeDef,
+    GemmSpec,
+    ShiftedDim,
+    TensorSpec,
+)
+from .schedule import (
+    ChoiceVar,
+    FactorVar,
+    ScheduleSpace,
+    ScheduleStrategy,
+    default_factors,
+)
+
+__all__ = [
+    "Axis",
+    "ComputeDef",
+    "GemmSpec",
+    "ShiftedDim",
+    "TensorSpec",
+    "SPATIAL",
+    "REDUCTION",
+    "ROLE_INPUT",
+    "ROLE_WEIGHT",
+    "ROLE_OUTPUT",
+    "FactorVar",
+    "ChoiceVar",
+    "ScheduleSpace",
+    "ScheduleStrategy",
+    "default_factors",
+]

@@ -1,0 +1,221 @@
+"""The schedule *seed*: tensorized description of a DL operator.
+
+The paper's DSL (Fig. 4, left) is embedded in C++; ours is embedded in
+Python with the same vocabulary.  A :class:`ComputeDef` declares
+
+* **axes** -- iteration variables with static extents, marked as
+  spatial (appear in the output) or reduction (summed over);
+* **tensors** -- multidimensional arrays whose dimensions are indexed
+  by one axis each, or by the sum of a spatial and a reduction axis
+  (the convolution ``cRi = cRo + cKr`` input pattern);
+* one **tensorized GEMM statement** binding axes to the M/N/K roles of
+  the micro-kernel (N may fuse several axes, e.g. batch x spatial).
+
+The seed is purely computational: no loops, layouts or tile sizes.
+Those belong to the :class:`~repro.dsl.schedule.ScheduleSpace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import DslError
+
+SPATIAL = "spatial"
+REDUCTION = "reduction"
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One iteration variable of the operator."""
+
+    name: str
+    extent: int
+    kind: str = SPATIAL
+
+    def __post_init__(self) -> None:
+        if self.extent <= 0:
+            raise DslError(f"axis {self.name!r} needs a positive extent")
+        if self.kind not in (SPATIAL, REDUCTION):
+            raise DslError(f"axis kind must be spatial/reduction, got {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class ShiftedDim:
+    """A tensor dimension indexed by ``spatial + reduction`` (conv
+    input rows/cols: ``cRi = cRo + cKr``)."""
+
+    spatial: str
+    kernel: str
+
+
+#: a tensor dimension is indexed by a single axis name or a shifted pair.
+DimIndex = Union[str, ShiftedDim]
+
+ROLE_INPUT = "input"
+ROLE_WEIGHT = "weight"
+ROLE_OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A main-memory tensor and how the axes index it."""
+
+    name: str
+    dims: Tuple[DimIndex, ...]
+    role: str
+
+    def __post_init__(self) -> None:
+        if self.role not in (ROLE_INPUT, ROLE_WEIGHT, ROLE_OUTPUT):
+            raise DslError(f"bad tensor role {self.role!r}")
+        if not self.dims:
+            raise DslError(f"tensor {self.name!r} needs at least one dimension")
+
+
+@dataclass(frozen=True)
+class GemmSpec:
+    """Binding of axes to the tensorized GEMM's M/N/K roles.
+
+    ``n_axes`` is ordered; its axes fuse (row-major) into the GEMM N
+    dimension -- the loop-fusion mechanism of Sec. 4.3.1 that merges
+    independent multiplications into one larger one.
+    """
+
+    c: str
+    a: str
+    b: str
+    m_axis: str
+    n_axes: Tuple[str, ...]
+    k_axis: str
+
+
+class ComputeDef:
+    """A complete schedule seed."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise DslError("operator needs a name")
+        self.name = name
+        self.axes: Dict[str, Axis] = {}
+        self.tensors: Dict[str, TensorSpec] = {}
+        self.gemm: Optional[GemmSpec] = None
+
+    # --- construction -------------------------------------------------------
+    def axis(self, name: str, extent: int, *, reduction: bool = False) -> Axis:
+        if name in self.axes:
+            raise DslError(f"axis {name!r} already declared")
+        ax = Axis(name, int(extent), REDUCTION if reduction else SPATIAL)
+        self.axes[name] = ax
+        return ax
+
+    def tensor(
+        self, name: str, dims: Sequence[DimIndex], role: str
+    ) -> TensorSpec:
+        if name in self.tensors:
+            raise DslError(f"tensor {name!r} already declared")
+        spec = TensorSpec(name, tuple(dims), role)
+        for dim in spec.dims:
+            self._check_dim(name, dim)
+        self.tensors[name] = spec
+        return spec
+
+    def define_gemm(
+        self,
+        c: str,
+        a: str,
+        b: str,
+        *,
+        m: str,
+        n: Sequence[str],
+        k: str,
+    ) -> GemmSpec:
+        if self.gemm is not None:
+            raise DslError("gemm statement already defined")
+        for t in (c, a, b):
+            if t not in self.tensors:
+                raise DslError(f"gemm references unknown tensor {t!r}")
+        for ax in (m, k, *n):
+            if ax not in self.axes:
+                raise DslError(f"gemm references unknown axis {ax!r}")
+        if self.axes[m].kind != SPATIAL:
+            raise DslError("the GEMM M axis must be spatial")
+        if self.axes[k].kind != REDUCTION:
+            raise DslError("the GEMM K axis must be a reduction axis")
+        for ax in n:
+            if self.axes[ax].kind != SPATIAL:
+                raise DslError(f"GEMM N axis {ax!r} must be spatial")
+        self.gemm = GemmSpec(c, a, b, m, tuple(n), k)
+        return self.gemm
+
+    # --- queries ------------------------------------------------------------
+    def dim_extent(self, dim: DimIndex) -> int:
+        """Storage extent of a tensor dimension."""
+        if isinstance(dim, str):
+            return self.axes[dim].extent
+        return self.axes[dim.spatial].extent + self.axes[dim.kernel].extent - 1
+
+    def tensor_shape(self, name: str) -> Tuple[int, ...]:
+        spec = self.tensors[name]
+        return tuple(self.dim_extent(d) for d in spec.dims)
+
+    def reduction_axes(self) -> List[str]:
+        return [a.name for a in self.axes.values() if a.kind == REDUCTION]
+
+    def spatial_axes(self) -> List[str]:
+        return [a.name for a in self.axes.values() if a.kind == SPATIAL]
+
+    def validate(self) -> None:
+        """Full structural validation; raises :class:`DslError`."""
+        if self.gemm is None:
+            raise DslError(f"operator {self.name!r} has no gemm statement")
+        g = self.gemm
+        if self.tensors[g.c].role != ROLE_OUTPUT:
+            raise DslError("gemm C tensor must have the output role")
+        out = self.tensors[g.c]
+        out_axes = set()
+        for dim in out.dims:
+            if isinstance(dim, ShiftedDim):
+                raise DslError("output tensors cannot have shifted dimensions")
+            out_axes.add(dim)
+        for ax in (g.m_axis, *g.n_axes):
+            if ax not in out_axes:
+                raise DslError(
+                    f"gemm output axis {ax!r} does not index output "
+                    f"tensor {g.c!r}"
+                )
+        for ax in self.reduction_axes():
+            if ax in out_axes:
+                raise DslError(f"reduction axis {ax!r} indexes the output")
+        # A must see m & k; B must see k & every n-axis or be broadcast
+        a_axes = self._tensor_axes(g.a)
+        if g.m_axis not in a_axes or g.k_axis not in a_axes:
+            raise DslError("gemm A tensor must be indexed by the M and K axes")
+        b_axes = self._tensor_axes(g.b)
+        if g.k_axis not in b_axes:
+            raise DslError("gemm B tensor must be indexed by the K axis")
+
+    def _tensor_axes(self, name: str) -> set:
+        axes = set()
+        for dim in self.tensors[name].dims:
+            if isinstance(dim, ShiftedDim):
+                axes.add(dim.spatial)
+                axes.add(dim.kernel)
+            else:
+                axes.add(dim)
+        return axes
+
+    def _check_dim(self, tensor: str, dim: DimIndex) -> None:
+        if isinstance(dim, str):
+            if dim not in self.axes:
+                raise DslError(f"tensor {tensor!r} indexes unknown axis {dim!r}")
+            return
+        if dim.spatial not in self.axes or dim.kernel not in self.axes:
+            raise DslError(
+                f"tensor {tensor!r} shifted dim references unknown axes "
+                f"({dim.spatial!r}, {dim.kernel!r})"
+            )
+        if self.axes[dim.spatial].kind != SPATIAL:
+            raise DslError(f"shifted dim base {dim.spatial!r} must be spatial")
+        if self.axes[dim.kernel].kind != REDUCTION:
+            raise DslError(f"shifted dim offset {dim.kernel!r} must be reduction")

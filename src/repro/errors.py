@@ -1,0 +1,76 @@
+"""Exception hierarchy for the swATOP reproduction.
+
+Every layer of the stack raises a subclass of :class:`ReproError` so that
+callers (tuners, harnesses) can distinguish "this candidate is illegal"
+from genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class MachineError(ReproError):
+    """Violation of a hardware constraint in the simulated SW26010."""
+
+
+class SpmCapacityError(MachineError):
+    """A kernel's scratch-pad plan exceeds the 64 KB per-CPE SPM."""
+
+
+class MemoryError_(MachineError):
+    """Main-memory allocation or out-of-bounds access failure."""
+
+
+class DmaError(MachineError):
+    """Malformed DMA descriptor (bad stride/block/bounds/reply word)."""
+
+
+class RegCommError(MachineError):
+    """Illegal register-communication operation on the CPE mesh."""
+
+
+class PipelineError(MachineError):
+    """Malformed instruction sequence given to the pipeline scheduler."""
+
+
+class DslError(ReproError):
+    """Invalid DSL construction (bad axis, tensor, or schedule space)."""
+
+
+class IrError(ReproError):
+    """Structurally invalid IR or illegal IR mutation."""
+
+
+class ScheduleError(ReproError):
+    """A schedule strategy is invalid for the given compute seed."""
+
+
+class IllegalCandidateError(ScheduleError):
+    """Candidate violates a primitive legality rule or SPM capacity.
+
+    The scheduler raises (and the enumerator catches) this to prune the
+    schedule space, mirroring swATOP's validity filtering.
+    """
+
+
+class LoweringError(ReproError):
+    """Failure while lowering a schedule strategy to IR."""
+
+
+class CodegenError(ReproError):
+    """Failure while emitting C code or building an executable kernel."""
+
+
+class TuningError(ReproError):
+    """Autotuner failure (e.g. empty schedule space after pruning)."""
+
+
+class CalibrationError(ReproError):
+    """Cost-model calibration failed (singular fit, missing samples)."""
+
+
+class WorkloadError(ReproError):
+    """Unknown network/layer or invalid sweep specification."""

@@ -1,0 +1,30 @@
+"""Experiment harness: runners, drivers per table/figure, reporting."""
+
+from . import experiments
+from .report import Table, speedup_summary
+from .runner import (
+    CONV_RUNNERS,
+    OperatorRun,
+    run_conv_explicit,
+    run_conv_implicit,
+    run_conv_winograd,
+    run_gemm,
+    shard_conv,
+)
+from .scales import SCALES, Scale, get_scale
+
+__all__ = [
+    "experiments",
+    "Table",
+    "speedup_summary",
+    "OperatorRun",
+    "run_gemm",
+    "run_conv_implicit",
+    "run_conv_explicit",
+    "run_conv_winograd",
+    "CONV_RUNNERS",
+    "shard_conv",
+    "Scale",
+    "SCALES",
+    "get_scale",
+]

@@ -1,0 +1,86 @@
+"""Tabular rendering of experiment results.
+
+Every experiment driver returns rows of plain dataclasses; this module
+turns them into aligned text tables with the paper's expected value
+printed beside the measured one, so a bench run reads as a direct
+paper-vs-reproduction comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence
+
+
+@dataclass
+class Table:
+    """A rendered experiment table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(c)), *(len(r[i]) for r in cells)) if cells else len(str(c))
+            for i, c in enumerate(self.columns)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        out = [self.title, "=" * len(self.title)]
+        out.append(" | ".join(str(c).ljust(w) for c, w in zip(self.columns, widths)))
+        out.append(sep)
+        for row in cells:
+            out.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            out.append(f"  * {note}")
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def speedup_summary(speedups: Iterable[float]) -> Dict[str, float]:
+    """The Tab. 1/2 style aggregate: counts and average gains/losses."""
+    ups = list(speedups)
+    faster = [s for s in ups if s > 1.0]
+    slower = [s for s in ups if s < 1.0]
+    return {
+        "cases": len(ups),
+        "faster": len(faster),
+        "slower": len(slower),
+        "avg_gain": (sum(faster) / len(faster) - 1.0) if faster else 0.0,
+        "avg_loss": (1.0 - sum(slower) / len(slower)) if slower else 0.0,
+        "best": max(ups) if ups else 0.0,
+        "geomean": _geomean(ups),
+    }
+
+
+def _geomean(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    acc = 1.0
+    for v in values:
+        acc *= v
+    return acc ** (1.0 / len(values))

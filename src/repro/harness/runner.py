@@ -1,0 +1,488 @@
+"""Operator-level runner: tune/fix a schedule, shard across the chip,
+execute on the simulator, assemble outputs and chip-level reports.
+
+This is the layer the experiments drive.  Responsibilities:
+
+* spatial/batch **sharding** over the four core groups (each CG streams
+  its shard from its own memory controller; chip makespan = slowest
+  shard);
+* **tuning once per shard shape** and re-lowering the winning strategy
+  (with clipped tiles) onto remainder shards;
+* running the multi-stage methods (im2col + GEMM; Winograd transforms
+  + batched GEMM) with per-stage reports merged serially;
+* dispatching to the manual baselines (swDNN / xMath) through the same
+  interfaces so comparisons share every piece of machinery except the
+  schedule choice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..autotuner import TuningResult, tune_blackbox, tune_with_model
+from ..baselines import swdnn, xmath
+from ..codegen import compile_candidate
+from ..codegen.executor import CompiledKernel
+from ..dsl.compute import ComputeDef
+from ..dsl.schedule import ScheduleStrategy
+from ..errors import TuningError, WorkloadError
+from ..machine.config import MachineConfig, default_config
+from ..machine.spm import partition_extent
+from ..machine.trace import SimReport
+from ..ops import conv_explicit, conv_implicit, conv_winograd
+from ..ops.conv_common import ConvParams, pad_input
+from ..ops.gemm import make_compute as gemm_compute
+from ..ops.gemm import make_space as gemm_space
+from ..scheduler.enumerate import Candidate
+from ..scheduler.lower import lower_strategy
+
+
+@dataclass
+class OperatorRun:
+    """Result of one operator execution on the chip."""
+
+    report: SimReport
+    output: Optional[np.ndarray] = None
+    tuning: Optional[TuningResult] = None
+
+    @property
+    def cycles(self) -> float:
+        return self.report.cycles
+
+
+# ---------------------------------------------------------------------------
+# strategy utilities
+# ---------------------------------------------------------------------------
+def clip_strategy(strategy: ScheduleStrategy, compute: ComputeDef) -> ScheduleStrategy:
+    """Clip tile decisions to a (smaller) shard's extents."""
+    decisions = dict(strategy.decisions)
+    for name, axis in compute.axes.items():
+        key = f"tile:{name}"
+        if key in decisions:
+            decisions[key] = min(int(decisions[key]), axis.extent)  # type: ignore[arg-type]
+    return ScheduleStrategy(decisions)
+
+
+def compile_strategy(
+    compute: ComputeDef,
+    strategy: ScheduleStrategy,
+    config: Optional[MachineConfig] = None,
+) -> CompiledKernel:
+    cfg = config or default_config()
+    strategy = clip_strategy(strategy, compute)
+    kernel = lower_strategy(compute, strategy, config=cfg)
+    return compile_candidate(Candidate(strategy, kernel, compute), config=cfg)
+
+
+def _tune(
+    compute: ComputeDef,
+    space,
+    tuner: str,
+    config: MachineConfig,
+    blackbox_limit: Optional[int],
+) -> TuningResult:
+    if tuner == "model":
+        # measure the top-2 predictions and keep the faster one -- the
+        # paper's "pick best (or top k)" refinement; two extra simulated
+        # runs per operator buy back most residual model error
+        return tune_with_model(
+            compute, space, config=config, run_best=True, top_k=2
+        )
+    if tuner == "blackbox":
+        return tune_blackbox(compute, space, config=config, limit=blackbox_limit)
+    raise TuningError(f"unknown tuner {tuner!r}")
+
+
+# ---------------------------------------------------------------------------
+# sharding helpers
+# ---------------------------------------------------------------------------
+def _aligned_partition(extent: int, parts: int, align: int) -> List[Tuple[int, int]]:
+    """Contiguous partition with every boundary a multiple of ``align``
+    (Winograd tile rows must not split a 2-row output tile)."""
+    units = math.ceil(extent / align)
+    out = []
+    for start_u, len_u in partition_extent(units, parts):
+        start = start_u * align
+        length = min(len_u * align, max(0, extent - start))
+        out.append((start, length))
+    return out
+
+
+@dataclass(frozen=True)
+class ConvShard:
+    params: ConvParams      # pad already folded in (pad == 0)
+    batch: Tuple[int, int]  # (start, length) in the batch dim
+    rows: Tuple[int, int]   # (start, length) in the *output-row* dim
+
+
+def shard_conv(
+    params: ConvParams,
+    config: Optional[MachineConfig] = None,
+    *,
+    row_align: int = 1,
+) -> List[ConvShard]:
+    """Split a conv across core groups: by batch when it covers the
+    CGs, otherwise by output rows (the inference case)."""
+    cfg = config or default_config()
+    base = replace(params, ri=params.padded_ri, ci=params.padded_ci, pad=0)
+    shards: List[ConvShard] = []
+    if params.batch >= cfg.num_cgs:
+        for start, length in partition_extent(params.batch, cfg.num_cgs):
+            if length == 0:
+                continue
+            shards.append(
+                ConvShard(
+                    params=replace(base, batch=length),
+                    batch=(start, length),
+                    rows=(0, params.ro),
+                )
+            )
+        return shards
+    for start, length in _aligned_partition(params.ro, cfg.num_cgs, row_align):
+        if length <= 0:
+            continue
+        shards.append(
+            ConvShard(
+                params=replace(
+                    base, ri=length + params.kr - 1, batch=params.batch
+                ),
+                batch=(0, params.batch),
+                rows=(start, length),
+            )
+        )
+    return shards
+
+
+def _shard_input(
+    xp: np.ndarray, shard: ConvShard, params: ConvParams
+) -> np.ndarray:
+    b0, bl = shard.batch
+    r0, rl = shard.rows
+    return np.ascontiguousarray(
+        xp[b0 : b0 + bl, :, r0 : r0 + rl + params.kr - 1, :]
+    )
+
+
+# ---------------------------------------------------------------------------
+# GEMM
+# ---------------------------------------------------------------------------
+def run_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    library: str = "swatop",
+    tuner: str = "model",
+    quick: bool = True,
+    config: Optional[MachineConfig] = None,
+    blackbox_limit: Optional[int] = None,
+) -> OperatorRun:
+    """``C = A @ B`` on one core group (GEMM routines, like xMath's, are
+    per-CG; multi-CG GEMM is a caller-level shard over M)."""
+    cfg = config or default_config()
+    a = np.asarray(a, np.float32)
+    b = np.asarray(b, np.float32)
+    if library == "xmath":
+        res = xmath.xmath_gemm(a, b, config=cfg)
+        return OperatorRun(report=res.report, output=res.output)
+    if library != "swatop":
+        raise WorkloadError(f"unknown GEMM library {library!r}")
+    m, k = a.shape
+    n = b.shape[1]
+    compute = gemm_compute(m, n, k)
+    space = gemm_space(compute, quick=quick)
+    tuning = _tune(compute, space, tuner, cfg, blackbox_limit)
+    ck = CompiledKernel(tuning.best.candidate.kernel, compute, cfg)
+    res = ck.run({"A": a, "B": b})
+    return OperatorRun(report=res.report, output=res.outputs["C"], tuning=tuning)
+
+
+# ---------------------------------------------------------------------------
+# implicit convolution
+# ---------------------------------------------------------------------------
+def run_conv_implicit(
+    params: ConvParams,
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    library: str = "swatop",
+    tuner: str = "model",
+    quick: bool = True,
+    config: Optional[MachineConfig] = None,
+    collect_output: bool = True,
+    blackbox_limit: Optional[int] = None,
+    strategy: Optional[ScheduleStrategy] = None,
+) -> OperatorRun:
+    cfg = config or default_config()
+    xp = pad_input(np.asarray(x, np.float32), params)
+    w = np.asarray(w, np.float32)
+    shards = shard_conv(params, cfg)
+
+    tuning: Optional[TuningResult] = None
+    if library == "swatop":
+        if strategy is None:
+            lead = max(shards, key=lambda s: s.params.flops)
+            compute = conv_implicit.make_compute(lead.params)
+            space = conv_implicit.make_space(lead.params, quick=quick)
+            tuning = _tune(compute, space, tuner, cfg, blackbox_limit)
+            strategy = tuning.best.candidate.strategy
+    elif library == "swdnn":
+        if not swdnn.supported(params):
+            raise WorkloadError(
+                f"swDNN has no implicit-conv kernel for {params.describe()}"
+            )
+        lead = max(shards, key=lambda s: s.params.flops)
+        strategy = swdnn.fixed_strategy(lead.params, cfg, check_support=False)
+    else:
+        raise WorkloadError(f"unknown implicit-conv library {library!r}")
+
+    out = np.zeros(params.output_shape, np.float32) if collect_output else None
+    reports: List[SimReport] = []
+    cache: Dict[str, CompiledKernel] = {}
+    for shard in shards:
+        key = shard.params.describe()
+        if key not in cache:
+            compute = conv_implicit.make_compute(shard.params)
+            cache[key] = compile_strategy(compute, strategy, cfg)
+        ck = cache[key]
+        res = ck.run({"input": _shard_input(xp, shard, params), "weight": w})
+        reports.append(res.report)
+        if out is not None:
+            b0, bl = shard.batch
+            r0, rl = shard.rows
+            out[b0 : b0 + bl, :, r0 : r0 + rl, :] = res.outputs["out"]
+    report = SimReport.merge_parallel(reports, detail=f"conv_implicit[{library}]")
+    return OperatorRun(report=report, output=out, tuning=tuning)
+
+
+# ---------------------------------------------------------------------------
+# explicit convolution
+# ---------------------------------------------------------------------------
+def run_conv_explicit(
+    params: ConvParams,
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    library: str = "swatop",
+    tuner: str = "model",
+    quick: bool = True,
+    config: Optional[MachineConfig] = None,
+    collect_output: bool = True,
+    blackbox_limit: Optional[int] = None,
+    strategy: Optional[ScheduleStrategy] = None,
+) -> OperatorRun:
+    cfg = config or default_config()
+    xp = pad_input(np.asarray(x, np.float32), params)
+    w_mat_full = conv_explicit.weight_matrix(np.asarray(w, np.float32), params)
+    shards = shard_conv(params, cfg)
+
+    tuning: Optional[TuningResult] = None
+    if library == "swatop":
+        if strategy is None:
+            lead = max(shards, key=lambda s: s.params.flops)
+            compute = conv_explicit.make_compute(lead.params)
+            space = conv_explicit.make_space(lead.params, quick=quick)
+            tuning = _tune(compute, space, tuner, cfg, blackbox_limit)
+            strategy = tuning.best.candidate.strategy
+    elif library != "manual":
+        raise WorkloadError(f"unknown explicit-conv library {library!r}")
+
+    out = np.zeros(params.output_shape, np.float32) if collect_output else None
+    reports: List[SimReport] = []
+    for shard in shards:
+        sp = shard.params
+        xs = _shard_input(xp, shard, params)
+        if library == "swatop":
+            layout = conv_explicit.col_layout_of(strategy)
+            col = conv_explicit.im2col(xs, sp, "kn")  # logical (K, N) feed
+            expand = conv_explicit.expand_report(sp, layout, cfg)
+            compute = conv_explicit.make_compute(sp)
+            ck = compile_strategy(compute, strategy, cfg)
+            res = ck.run({"A": w_mat_full, "B": col})
+            stage = conv_explicit.ExplicitStages(expand, res.report)
+            reports.append(stage.total)
+            result_mat = res.outputs["C"]
+        else:
+            col = conv_explicit.im2col(xs, sp, "kn")
+            expand = conv_explicit.expand_report(sp, "kn", cfg)
+            g = xmath.xmath_gemm(w_mat_full, col, config=cfg)
+            reports.append(
+                SimReport.merge_serial([expand, g.report], detail="explicit[manual]")
+            )
+            result_mat = g.output
+        if out is not None:
+            folded = conv_explicit.output_from_matrix(result_mat, sp)
+            b0, bl = shard.batch
+            r0, rl = shard.rows
+            out[b0 : b0 + bl, :, r0 : r0 + rl, :] = folded
+    report = SimReport.merge_parallel(reports, detail=f"conv_explicit[{library}]")
+    return OperatorRun(report=report, output=out, tuning=tuning)
+
+
+# ---------------------------------------------------------------------------
+# Winograd convolution
+# ---------------------------------------------------------------------------
+def run_conv_winograd(
+    params: ConvParams,
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    library: str = "swatop",
+    tuner: str = "model",
+    quick: bool = True,
+    config: Optional[MachineConfig] = None,
+    collect_output: bool = True,
+    blackbox_limit: Optional[int] = None,
+    strategy: Optional[ScheduleStrategy] = None,
+    variant: str = "f22",
+) -> OperatorRun:
+    """Winograd convolution.
+
+    ``variant`` selects the minimal-filtering instantiation: ``"f22"``
+    (the paper's 16-GEMM F(2x2,3x3)), ``"f44"`` (36-GEMM F(4x4,3x3),
+    4x multiply reduction), or ``"auto"`` -- tune both and keep the
+    faster, the per-shape primitive selection swATOP advertises.
+    """
+    cfg = config or default_config()
+    if not conv_winograd.applicable(params):
+        raise WorkloadError(f"winograd not applicable to {params.describe()}")
+    if variant == "auto":
+        if library != "swatop":
+            raise WorkloadError("variant='auto' is a swATOP feature")
+        runs = [
+            run_conv_winograd(
+                params, x, w, library=library, tuner=tuner, quick=quick,
+                config=cfg, collect_output=collect_output,
+                blackbox_limit=blackbox_limit, variant=name,
+            )
+            for name in ("f22", "f44")
+        ]
+        return min(runs, key=lambda r: r.cycles)
+    wv = conv_winograd.get_variant(variant)
+
+    xp = pad_input(np.asarray(x, np.float32), params)
+    w = np.asarray(w, np.float32)
+    u = conv_winograd.filter_transform(w, params, wv)  # (t, t, No, Ni)
+    u_mat = np.ascontiguousarray(
+        u.reshape(wv.num_gemms, params.no, params.ni)
+    )
+    shards = shard_conv(params, cfg, row_align=wv.out_tile)
+
+    tuning: Optional[TuningResult] = None
+    if library == "swatop":
+        if strategy is None:
+            lead = max(shards, key=lambda s: s.params.flops)
+            compute = conv_winograd.make_compute(lead.params, wv)
+            space = conv_winograd.make_space(lead.params, quick=quick, variant=wv)
+            tuning = _tune(compute, space, tuner, cfg, blackbox_limit)
+            strategy = tuning.best.candidate.strategy
+    elif library != "manual":
+        raise WorkloadError(f"unknown winograd library {library!r}")
+
+    out = np.zeros(params.output_shape, np.float32) if collect_output else None
+    reports: List[SimReport] = []
+    for shard in shards:
+        sp = shard.params
+        xs = _shard_input(xp, shard, params)
+        v = conv_winograd.input_transform(xs, sp, wv)  # (t, t, Ni, P)
+        _, _, p = conv_winograd.tile_counts(sp, wv)
+        v_mat = np.ascontiguousarray(
+            v.reshape(wv.num_gemms, params.ni, p)
+        )
+        stage_reports = [
+            conv_winograd.filter_transform_report(sp, cfg, wv),
+            conv_winograd.input_transform_report(sp, cfg, wv),
+        ]
+        if library == "swatop":
+            compute = conv_winograd.make_compute(sp, wv)
+            ck = compile_strategy(compute, strategy, cfg)
+            res = ck.run({"U": u_mat, "V": v_mat})
+            stage_reports.append(res.report)
+            m_mat = res.outputs["M"]
+        else:
+            gem_reports = []
+            m_mat = np.empty(
+                (wv.num_gemms, params.no, p), np.float32
+            )
+            for t in range(wv.num_gemms):
+                g = xmath.xmath_gemm(u_mat[t], v_mat[t], config=cfg)
+                gem_reports.append(g.report)
+                m_mat[t] = g.output
+            stage_reports.append(
+                SimReport.merge_serial(gem_reports, detail="winograd[manual] gemms")
+            )
+        stage_reports.append(conv_winograd.output_transform_report(sp, cfg, wv))
+        reports.append(
+            SimReport.merge_serial(stage_reports, detail="winograd shard")
+        )
+        if out is not None:
+            y = conv_winograd.output_transform(
+                m_mat.reshape(wv.tile, wv.tile, params.no, p), sp, wv
+            )
+            b0, bl = shard.batch
+            r0, rl = shard.rows
+            out[b0 : b0 + bl, :, r0 : r0 + rl, :] = y[:, :, :rl, :]
+    report = SimReport.merge_parallel(
+        reports, detail=f"conv_winograd[{library},{wv.name}]"
+    )
+    return OperatorRun(report=report, output=out, tuning=tuning)
+
+
+#: dispatch used by the experiments
+CONV_RUNNERS: Dict[str, Callable[..., OperatorRun]] = {
+    "implicit": run_conv_implicit,
+    "explicit": run_conv_explicit,
+    "winograd": run_conv_winograd,
+}
+
+
+# ---------------------------------------------------------------------------
+# strided convolution via phase decomposition
+# ---------------------------------------------------------------------------
+def run_conv_strided(
+    params: ConvParams,
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    library: str = "swatop",
+    method: str = "implicit",
+    tuner: str = "model",
+    quick: bool = True,
+    config: Optional[MachineConfig] = None,
+    blackbox_limit: Optional[int] = None,
+) -> OperatorRun:
+    """Strided convolution: phase-decompose into unit-stride convs
+    (see :mod:`repro.ops.strided`), run each through the tuned
+    pipeline, and sum.  Phases execute back to back on the chip, so
+    reports merge serially."""
+    from ..ops import strided
+
+    cfg = config or default_config()
+    if params.stride == 1:
+        raise WorkloadError("run_conv_strided needs stride > 1")
+    if method not in ("implicit", "explicit"):
+        raise WorkloadError(f"strided decomposition over {method!r} unsupported")
+    runner = CONV_RUNNERS[method]
+    out = np.zeros(params.output_shape, np.float32)
+    reports: List[SimReport] = []
+    tuning: Optional[TuningResult] = None
+    for phase in strided.decompose(params):
+        xs = strided.phase_input(x, params, phase)
+        ws = strided.phase_weight(w, params, phase)
+        run = runner(
+            phase.params, xs, ws, library=library, tuner=tuner,
+            quick=quick, config=cfg, collect_output=True,
+            blackbox_limit=blackbox_limit,
+        )
+        out += run.output
+        reports.append(run.report)
+        if tuning is None:
+            tuning = run.tuning
+    return OperatorRun(
+        report=SimReport.merge_serial(reports, detail=f"conv_strided[{method}]"),
+        output=out,
+        tuning=tuning,
+    )

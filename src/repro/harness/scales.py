@@ -1,0 +1,89 @@
+"""Experiment scaling profiles.
+
+The paper's full evaluation (225 conv configurations x 3 batch sizes x
+3 methods, 559 GEMM shapes, black-box sweeps over thousands of
+candidates) is hours of simulation.  Every experiment driver accepts a
+:class:`Scale`; benches default to ``default`` and honour the
+``REPRO_SCALE`` environment variable (``smoke``/``default``/``full``).
+Scaling shrinks spatial extents and subsamples sweeps but never removes
+a *kind* of case (aligned vs unaligned, batch regimes, channel
+configurations), so the paper's comparisons keep their shape.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Scale:
+    name: str
+    #: divide network/Listing-1 spatial extents by this factor
+    spatial_scale: int
+    #: divide Listing-2 GEMM extents by this factor
+    gemm_scale: int
+    #: batch sizes evaluated (paper: 1, 32, 128)
+    batches: Tuple[int, ...]
+    #: cap on distinct layers per network (None = all)
+    max_layers: Optional[int]
+    #: cap on sweep configurations per batch (None = all)
+    max_configs: Optional[int]
+    #: use reduced schedule spaces
+    quick: bool
+    #: cap on candidates the black-box tuner executes (None = all)
+    blackbox_limit: Optional[int]
+    #: skip cases above this many conv FLOPs (simulation budget)
+    max_flops: float
+
+
+SCALES = {
+    "smoke": Scale(
+        name="smoke",
+        spatial_scale=16,
+        gemm_scale=16,
+        batches=(1, 32),
+        max_layers=2,
+        max_configs=4,
+        quick=True,
+        blackbox_limit=12,
+        max_flops=3e9,
+    ),
+    "default": Scale(
+        name="default",
+        spatial_scale=8,
+        gemm_scale=8,
+        batches=(1, 32, 128),
+        max_layers=4,
+        max_configs=9,
+        quick=True,
+        blackbox_limit=40,
+        max_flops=2e10,
+    ),
+    "full": Scale(
+        name="full",
+        spatial_scale=4,
+        gemm_scale=4,
+        batches=(1, 32, 128),
+        max_layers=None,
+        max_configs=None,
+        quick=False,
+        blackbox_limit=None,
+        max_flops=2e11,
+    ),
+}
+
+
+def get_scale(name: Optional[str] = None) -> Scale:
+    """Resolve a scale by name, or from ``REPRO_SCALE`` (default:
+    ``default``)."""
+    key = name or os.environ.get("REPRO_SCALE", "default")
+    try:
+        return SCALES[key]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown scale {key!r}; choose from {sorted(SCALES)}"
+        ) from None

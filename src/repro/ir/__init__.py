@@ -1,0 +1,56 @@
+"""Intermediate representation of swATOP kernels (Sec. 4.4)."""
+
+from .expr import AffineExpr, Cond
+from .nodes import (
+    AllocSpmNode,
+    ComputeOpNode,
+    DmaCgNode,
+    DmaGeometry,
+    DmaWaitNode,
+    ForNode,
+    GemmOpNode,
+    IfThenElseNode,
+    KernelNode,
+    MatMap,
+    Node,
+    PrefetchNode,
+    SeqNode,
+    TileAccess,
+    ZeroSpmNode,
+)
+from .printer import pretty
+from .visitors import (
+    count_nodes,
+    find_all,
+    find_unique,
+    loop_nest_of,
+    transform,
+    walk,
+)
+
+__all__ = [
+    "AffineExpr",
+    "Cond",
+    "Node",
+    "SeqNode",
+    "ForNode",
+    "IfThenElseNode",
+    "AllocSpmNode",
+    "TileAccess",
+    "DmaCgNode",
+    "DmaGeometry",
+    "DmaWaitNode",
+    "PrefetchNode",
+    "ZeroSpmNode",
+    "GemmOpNode",
+    "ComputeOpNode",
+    "KernelNode",
+    "MatMap",
+    "pretty",
+    "walk",
+    "find_all",
+    "find_unique",
+    "transform",
+    "count_nodes",
+    "loop_nest_of",
+]

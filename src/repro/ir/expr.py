@@ -1,0 +1,148 @@
+"""Affine index expressions.
+
+swATOP's auto-prefetching relies on data accesses being affine
+functions of the enclosing loop variables (Sec. 4.5.2: "data access can
+be considered as a function that maps values of enclosing loop
+variables onto the accessed memory address").  We make that assumption
+explicit: every address/offset in the IR is an :class:`AffineExpr` --
+an integer constant plus integer-weighted loop variables.  This is all
+the DMA-inference and prefetch passes need, and it keeps the IR far
+simpler than a general expression tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+from ..errors import IrError
+
+Number = int
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """``const + sum(coeff[v] * v)`` over loop variables ``v``."""
+
+    const: int = 0
+    coeffs: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # normalise: drop zero coefficients, freeze the mapping
+        cleaned = {v: int(c) for v, c in self.coeffs.items() if int(c) != 0}
+        object.__setattr__(self, "coeffs", _FrozenDict(cleaned))
+        object.__setattr__(self, "const", int(self.const))
+
+    # --- constructors -----------------------------------------------------
+    @staticmethod
+    def of(value: Union["AffineExpr", int, str]) -> "AffineExpr":
+        if isinstance(value, AffineExpr):
+            return value
+        if isinstance(value, int):
+            return AffineExpr(value)
+        if isinstance(value, str):
+            return AffineExpr(0, {value: 1})
+        raise IrError(f"cannot build AffineExpr from {value!r}")
+
+    @staticmethod
+    def var(name: str) -> "AffineExpr":
+        return AffineExpr(0, {name: 1})
+
+    # --- algebra -----------------------------------------------------------
+    def __add__(self, other: Union["AffineExpr", int, str]) -> "AffineExpr":
+        other = AffineExpr.of(other)
+        coeffs = dict(self.coeffs)
+        for v, c in other.coeffs.items():
+            coeffs[v] = coeffs.get(v, 0) + c
+        return AffineExpr(self.const + other.const, coeffs)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["AffineExpr", int, str]) -> "AffineExpr":
+        return self + AffineExpr.of(other) * -1
+
+    def __mul__(self, scale: int) -> "AffineExpr":
+        if not isinstance(scale, int):
+            raise IrError(f"AffineExpr can only be scaled by ints, got {scale!r}")
+        return AffineExpr(
+            self.const * scale, {v: c * scale for v, c in self.coeffs.items()}
+        )
+
+    __rmul__ = __mul__
+
+    # --- evaluation ---------------------------------------------------------
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        total = self.const
+        for v, c in self.coeffs.items():
+            if v not in env:
+                raise IrError(f"unbound loop variable {v!r} in {self}")
+            total += c * env[v]
+        return total
+
+    def substitute(self, env: Mapping[str, Union[int, "AffineExpr"]]) -> "AffineExpr":
+        """Replace some variables with values or other affine exprs."""
+        out = AffineExpr(self.const)
+        for v, c in self.coeffs.items():
+            if v in env:
+                out = out + AffineExpr.of(env[v]) * c
+            else:
+                out = out + AffineExpr(0, {v: c})
+        return out
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    @property
+    def variables(self) -> frozenset:
+        return frozenset(self.coeffs)
+
+    def __str__(self) -> str:
+        parts = []
+        for v in sorted(self.coeffs):
+            c = self.coeffs[v]
+            parts.append(v if c == 1 else f"{c}*{v}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+class _FrozenDict(dict):
+    """Hashable immutable dict (coefficients of a frozen AffineExpr)."""
+
+    def __hash__(self) -> int:  # type: ignore[override]
+        return hash(frozenset(self.items()))
+
+    def _blocked(self, *args, **kwargs):
+        raise IrError("AffineExpr coefficients are immutable")
+
+    __setitem__ = __delitem__ = _blocked
+    pop = popitem = clear = update = setdefault = _blocked
+
+
+@dataclass(frozen=True)
+class Cond:
+    """A comparison between an affine expression and a constant."""
+
+    lhs: AffineExpr
+    op: str  # "==", "<", ">=", "!="
+    rhs: int
+
+    _OPS = {
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise IrError(f"unknown comparison {self.op!r}")
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return self._OPS[self.op](self.lhs.evaluate(env), self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.op} {self.rhs}"

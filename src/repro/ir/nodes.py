@@ -1,0 +1,335 @@
+"""IR node definitions.
+
+The IR is an abstract syntax tree of statement nodes (Sec. 4.4): loop
+nests (``For``), conditionals (``IfThenElse``), DMA transfers
+(``DmaCg`` and its inferred per-CPE form), tensorized computation
+(``GemmOp``), auxiliary compute stages (``ComputeOp``), SPM allocation
+(``AllocSpm``) and the prefetch construct the latency-hiding pass
+introduces.  Schedule strategies and optimizations are expressed as
+mutations over this tree.
+
+Design notes:
+
+* loop variables are plain strings; all index arithmetic is affine
+  (:mod:`repro.ir.expr`), which is what makes DMA inference and
+  auto-prefetching decidable;
+* extents are *static* integers -- swATOP generates one kernel per
+  parameter configuration, so shapes are known at schedule time;
+* ``GemmOp`` references SPM buffers by name plus an axis *map*
+  describing how the logical tile dims flatten into matrix rows/cols
+  (e.g. the implicit-conv N dimension is the fusion of batch and the
+  spatial tile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import IrError
+from ..primitives.microkernel import KernelVariant
+from .expr import AffineExpr, Cond
+
+
+class Node:
+    """Base class of all IR statements."""
+
+    def children(self) -> List["Node"]:
+        return []
+
+    def with_children(self, children: List["Node"]) -> "Node":
+        if children:
+            raise IrError(f"{type(self).__name__} takes no children")
+        return self
+
+
+# ---------------------------------------------------------------------------
+# structure
+# ---------------------------------------------------------------------------
+@dataclass
+class SeqNode(Node):
+    """Ordered sequence of statements."""
+
+    body: List[Node] = field(default_factory=list)
+
+    def children(self) -> List[Node]:
+        return list(self.body)
+
+    def with_children(self, children: List[Node]) -> "SeqNode":
+        return SeqNode(list(children))
+
+
+@dataclass
+class ForNode(Node):
+    """``for var in range(extent)`` (splits normalise min=0, step=1).
+
+    ``pipelined`` marks a loop whose body has been double-buffered by
+    the prefetch pass; the executor then lets DMA issued for iteration
+    ``i+1`` overlap computation of iteration ``i``.
+    """
+
+    var: str
+    extent: int
+    body: Node = field(default_factory=SeqNode)
+    pipelined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.extent < 0:
+            raise IrError(f"negative loop extent for {self.var!r}")
+
+    def children(self) -> List[Node]:
+        return [self.body]
+
+    def with_children(self, children: List[Node]) -> "ForNode":
+        (body,) = children
+        return ForNode(self.var, self.extent, body, self.pipelined)
+
+
+@dataclass
+class IfThenElseNode(Node):
+    cond: Cond
+    then_body: Node = field(default_factory=SeqNode)
+    else_body: Optional[Node] = None
+
+    def children(self) -> List[Node]:
+        out = [self.then_body]
+        if self.else_body is not None:
+            out.append(self.else_body)
+        return out
+
+    def with_children(self, children: List[Node]) -> "IfThenElseNode":
+        if len(children) == 1:
+            return IfThenElseNode(self.cond, children[0], None)
+        then_body, else_body = children
+        return IfThenElseNode(self.cond, then_body, else_body)
+
+
+# ---------------------------------------------------------------------------
+# memory
+# ---------------------------------------------------------------------------
+@dataclass
+class AllocSpmNode(Node):
+    """Reserve an SPM tile buffer for the kernel's lifetime.
+
+    ``shape`` is the logical tile shape; ``matrix_layout`` records how
+    the 2-D matrix view is stored (drives kernel-variant legality and
+    the emitted leading dimension); ``distributed`` tiles are split 8x8
+    across the cluster, replicated ones live whole on every CPE.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    matrix_layout: str = "row_major"
+    double_buffered: bool = False
+    distributed: bool = True
+
+    def __post_init__(self) -> None:
+        if any(int(s) <= 0 for s in self.shape):
+            raise IrError(f"non-positive extent in SPM alloc {self.name!r}")
+        self.shape = tuple(int(s) for s in self.shape)
+
+    @property
+    def elems(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+
+@dataclass(frozen=True)
+class TileAccess:
+    """A rectangular window of a main-memory tensor.
+
+    One ``(offset, length)`` pair per tensor dimension; offsets are
+    affine in the enclosing loop variables.
+    """
+
+    buffer: str
+    dims: Tuple[Tuple[AffineExpr, int], ...]
+
+    def __post_init__(self) -> None:
+        for off, length in self.dims:
+            if not isinstance(off, AffineExpr):
+                raise IrError("tile offsets must be AffineExpr")
+            if length <= 0:
+                raise IrError(f"non-positive tile extent {length}")
+
+    @property
+    def lengths(self) -> Tuple[int, ...]:
+        return tuple(length for _, length in self.dims)
+
+    @property
+    def elems(self) -> int:
+        n = 1
+        for length in self.lengths:
+            n *= length
+        return n
+
+    def variables(self) -> frozenset:
+        vs: frozenset = frozenset()
+        for off, _ in self.dims:
+            vs |= off.variables
+        return vs
+
+
+@dataclass(frozen=True)
+class DmaGeometry:
+    """Static DMA access shape filled in by the inference pass."""
+
+    n_blocks: int          # contiguous blocks per CG transfer
+    block_bytes: int       # bytes per contiguous block
+    stride_bytes: int      # gap between blocks (0 = continuous)
+    n_descriptors: int     # per-CPE descriptors issued
+
+
+@dataclass
+class DmaCgNode(Node):
+    """Core-group-level DMA of a tensor tile to/from an SPM buffer.
+
+    Users never write these: the DMA-inference pass injects them from
+    tile accesses (Sec. 4.5.1) and derives the per-CPE descriptor
+    geometry.  A node with ``reply`` set is asynchronous (issued, then
+    awaited by a matching :class:`DmaWaitNode`); without, it blocks.
+    """
+
+    access: TileAccess
+    spm: str
+    direction: str  # machine.dma.MEM_TO_SPM / SPM_TO_MEM
+    reply: Optional[str] = None
+    geometry: Optional[DmaGeometry] = None
+    #: filled by inference: which SPM buffer phase to use under double
+    #: buffering is decided at run time; this records the alternation var.
+    phase_var: Optional[str] = None
+
+
+@dataclass
+class DmaWaitNode(Node):
+    """``swDMAWait(reply, times)``."""
+
+    reply: str
+    times: int = 1
+
+
+@dataclass
+class PrefetchNode(Node):
+    """Issue the DMA(s) for the *next* iteration of the enclosing loop
+    nest into the alternate buffer phase.
+
+    ``loops`` lists (var, extent) pairs innermost-first; advancing the
+    index vector with carry is exactly the nested if-then-else next-
+    iteration inference of Sec. 4.5.2 (the C emitter prints it as such).
+    """
+
+    dmas: List[DmaCgNode]
+    loops: Tuple[Tuple[str, int], ...]
+
+    def children(self) -> List[Node]:
+        return list(self.dmas)
+
+    def with_children(self, children: List[Node]) -> "PrefetchNode":
+        return PrefetchNode(list(children), self.loops)  # type: ignore[arg-type]
+
+
+@dataclass
+class ZeroSpmNode(Node):
+    """Zero-fill (a region of) an SPM buffer -- C-tile init and the
+    lightweight padding of boundary tiles."""
+
+    spm: str
+    elems: Optional[int] = None  # None = whole buffer
+
+
+# ---------------------------------------------------------------------------
+# compute
+# ---------------------------------------------------------------------------
+#: how a logical tile flattens into a matrix: (row dim indices, col dim
+#: indices), each in tile-dim order, flattened row-major.
+MatMap = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+
+@dataclass
+class GemmOpNode(Node):
+    """One tensorized GEMM primitive call: ``C[, +]= A @ B``.
+
+    ``m``/``n``/``k`` are the (static) tile dims of this call site;
+    ``*_map`` describe how each SPM tile reshapes into its matrix.
+    ``variant`` is chosen by the vectorization/layout transformations.
+    """
+
+    m: int
+    n: int
+    k: int
+    a_spm: str
+    b_spm: str
+    c_spm: str
+    a_map: MatMap
+    b_map: MatMap
+    c_map: MatMap
+    variant: KernelVariant
+    accumulate: bool = True
+    #: storage-order tile extents each operand buffer is viewed with at
+    #: this call site (padded where boundary processing zero-extends the
+    #: vectorized dimension); product over map dims reproduces m/n/k.
+    a_lens: Tuple[int, ...] = ()
+    b_lens: Tuple[int, ...] = ()
+    c_lens: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) <= 0:
+            raise IrError(f"non-positive GEMM dims ({self.m},{self.n},{self.k})")
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.m * self.n * self.k
+
+
+@dataclass
+class ComputeOpNode(Node):
+    """A non-GEMM compute stage with a closed-form cost.
+
+    Used for Winograd input/filter/output transforms and im2col packing
+    arithmetic executed on the CPEs: ``cycles`` is the CG-level cycle
+    cost, ``flops`` the useful arithmetic attributed to the stage.
+    """
+
+    name: str
+    cycles: float
+    flops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise IrError(f"negative cycles on compute op {self.name!r}")
+
+
+# ---------------------------------------------------------------------------
+# kernel root
+# ---------------------------------------------------------------------------
+@dataclass
+class KernelNode(Node):
+    """Root of one generated kernel: SPM plan + body.
+
+    ``tensor_layouts`` records the main-memory layout (dim permutation)
+    chosen for each tensor by the layout transformation; the runner
+    packs user data accordingly before launch.
+    """
+
+    name: str
+    allocs: List[AllocSpmNode] = field(default_factory=list)
+    body: Node = field(default_factory=SeqNode)
+    tensor_layouts: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+
+    def children(self) -> List[Node]:
+        return [*self.allocs, self.body]
+
+    def with_children(self, children: List[Node]) -> "KernelNode":
+        *allocs, body = children
+        for a in allocs:
+            if not isinstance(a, AllocSpmNode):
+                raise IrError("kernel allocs must be AllocSpmNode")
+        return KernelNode(self.name, list(allocs), body, dict(self.tensor_layouts))
+
+    def alloc(self, name: str) -> AllocSpmNode:
+        for a in self.allocs:
+            if a.name == name:
+                return a
+        raise IrError(f"unknown SPM buffer {name!r} in kernel {self.name!r}")

@@ -1,0 +1,119 @@
+"""Human-readable IR pretty printer.
+
+Mirrors the logical IR rendering of Fig. 4: loops, conditionals, DMA
+nodes with their attributes, gemm_op sites.  Used by tests (structural
+assertions read far better against text), by examples, and as the
+skeleton the C emitter elaborates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .nodes import (
+    AllocSpmNode,
+    ComputeOpNode,
+    DmaCgNode,
+    DmaWaitNode,
+    ForNode,
+    GemmOpNode,
+    IfThenElseNode,
+    KernelNode,
+    Node,
+    PrefetchNode,
+    SeqNode,
+    ZeroSpmNode,
+)
+
+
+def pretty(node: Node) -> str:
+    """Render a subtree as indented pseudo-code."""
+    lines: List[str] = []
+    _emit(node, lines, 0)
+    return "\n".join(lines)
+
+
+def _ind(depth: int) -> str:
+    return "  " * depth
+
+
+def _emit(node: Node, lines: List[str], depth: int) -> None:
+    pad = _ind(depth)
+    if isinstance(node, KernelNode):
+        lines.append(f"{pad}kernel {node.name} {{")
+        for name, perm in sorted(node.tensor_layouts.items()):
+            lines.append(f"{_ind(depth + 1)}layout {name}: dims{perm}")
+        for alloc in node.allocs:
+            _emit(alloc, lines, depth + 1)
+        _emit(node.body, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(node, AllocSpmNode):
+        flags = []
+        if node.double_buffered:
+            flags.append("double_buffered")
+        if not node.distributed:
+            flags.append("replicated")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        lines.append(
+            f"{pad}alloc_spm {node.name}: f32{list(node.shape)} "
+            f"{node.matrix_layout}{suffix}"
+        )
+    elif isinstance(node, SeqNode):
+        for child in node.body:
+            _emit(child, lines, depth)
+    elif isinstance(node, ForNode):
+        tag = "  // pipelined (double-buffered)" if node.pipelined else ""
+        lines.append(f"{pad}for {node.var} in range({node.extent}) {{{tag}")
+        _emit(node.body, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(node, IfThenElseNode):
+        lines.append(f"{pad}if ({node.cond}) {{")
+        _emit(node.then_body, lines, depth + 1)
+        if node.else_body is not None:
+            lines.append(f"{pad}}} else {{")
+            _emit(node.else_body, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(node, DmaCgNode):
+        dims = ", ".join(f"[{off}:+{length}]" for off, length in node.access.dims)
+        mode = "async" if node.reply else "sync"
+        geo = ""
+        if node.geometry is not None:
+            g = node.geometry
+            geo = (
+                f" geom(blocks={g.n_blocks}, block={g.block_bytes}B, "
+                f"stride={g.stride_bytes}B, descs={g.n_descriptors})"
+            )
+        arrow = "->" if node.direction == "mem_to_spm" else "<-"
+        lines.append(
+            f"{pad}dma_{mode} {node.access.buffer}({dims}) {arrow} "
+            f"{node.spm}{geo}"
+            + (f" reply={node.reply}" if node.reply else "")
+        )
+    elif isinstance(node, DmaWaitNode):
+        lines.append(f"{pad}dma_wait {node.reply} x{node.times}")
+    elif isinstance(node, PrefetchNode):
+        vars_ = ", ".join(v for v, _ in node.loops)
+        lines.append(f"{pad}prefetch_next over ({vars_}) {{")
+        lines.append(
+            f"{_ind(depth + 1)}// nested if-then-else infers the next "
+            f"iteration index vector (Sec. 4.5.2)"
+        )
+        for dma in node.dmas:
+            _emit(dma, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(node, GemmOpNode):
+        acc = "+=" if node.accumulate else "="
+        lines.append(
+            f"{pad}gemm_op {node.c_spm} {acc} {node.a_spm} x {node.b_spm} "
+            f"(M={node.m}, N={node.n}, K={node.k}, variant={node.variant.name})"
+        )
+    elif isinstance(node, ComputeOpNode):
+        lines.append(
+            f"{pad}compute_op {node.name} (cycles={node.cycles:.0f}, "
+            f"flops={node.flops})"
+        )
+    elif isinstance(node, ZeroSpmNode):
+        extent = "all" if node.elems is None else str(node.elems)
+        lines.append(f"{pad}zero_spm {node.spm} [{extent}]")
+    else:
+        lines.append(f"{pad}<{type(node).__name__}>")

@@ -1,0 +1,95 @@
+"""Whole-chip model: four core groups.
+
+DL-operator libraries on SW26010 (swDNN, xMath) scale a single-CG
+kernel across the four core groups by sharding an outer dimension
+(batch for convolutions, M or N for GEMM); each CG streams its shard
+from its own memory controller, so there is no bandwidth contention,
+and the chip time is the maximum over the shards.  The NoC is crossed
+only when a shard's data does not live in its CG's DRAM; we expose a
+simple NoC transfer cost for completeness and for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .config import MachineConfig, default_config
+from .spm import partition_extent
+from .trace import SimReport
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One CG's slice of a sharded outer dimension."""
+
+    cg_id: int
+    start: int
+    length: int
+
+
+def shard_extent(extent: int, config: Optional[MachineConfig] = None) -> List[Shard]:
+    """Split an outer extent across the chip's core groups.
+
+    Remainders go to the leading CGs; CGs whose slice is empty simply
+    idle (a batch-1 conv runs on one CG, as in the paper's inference
+    cases).
+    """
+    cfg = config or default_config()
+    return [
+        Shard(cg, start, length)
+        for cg, (start, length) in enumerate(partition_extent(extent, cfg.num_cgs))
+    ]
+
+
+def run_sharded(
+    extent: int,
+    run_shard: Callable[[Shard], SimReport],
+    config: Optional[MachineConfig] = None,
+    *,
+    detail: str = "",
+) -> SimReport:
+    """Execute ``run_shard`` for every non-empty shard and merge.
+
+    Chip makespan = max over CGs; traffic and flops are summed;
+    ``num_cgs_used`` counts only CGs that did work, so efficiency is
+    reported against the peak of the silicon actually engaged (this is
+    how the paper reports >2 TFLOPS on big-batch convs while batch-1
+    numbers stay meaningful).
+    """
+    cfg = config or default_config()
+    reports: List[SimReport] = []
+    for shard in shard_extent(extent, cfg):
+        if shard.length == 0:
+            continue
+        reports.append(run_shard(shard))
+    if not reports:
+        return SimReport(cycles=0.0, config=cfg, detail=detail)
+    return SimReport.merge_parallel(reports, detail=detail)
+
+
+class Noc:
+    """Network-on-chip between the four core groups.
+
+    Only used when data must migrate between CGs (e.g. a tensor
+    resident in CG0's DRAM consumed by CG2).  Modelled as a shared ring
+    with a fixed per-message latency and a bandwidth cap.
+    """
+
+    #: bytes per second of one NoC link (conservative public estimate).
+    LINK_BW = 16.0e9
+    LATENCY_CYCLES = 300
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or default_config()
+
+    def transfer_cycles(self, nbytes: int, hops: int = 1) -> float:
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if hops < 1:
+            raise ValueError("hops must be >= 1")
+        if nbytes == 0:
+            return 0.0
+        cfg = self.config
+        bw_per_cycle = self.LINK_BW / cfg.clock_hz
+        return self.LATENCY_CYCLES * hops + nbytes / bw_per_cycle

@@ -1,0 +1,74 @@
+"""A single computing processing element (CPE).
+
+Holds the per-core state the rest of the stack cares about: the 64 KB
+scratch pad (functionally a flat float32 array), the core's (row,
+column) position in the 8x8 mesh -- which determines its DMA offsets
+and register-communication buses -- and convenience accessors used by
+the faithful per-CPE execution mode in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SpmCapacityError
+from .config import MachineConfig, default_config
+
+
+class Cpe:
+    """One CPE: position in the mesh + functional SPM contents."""
+
+    def __init__(
+        self,
+        rid: int,
+        cid: int,
+        config: Optional[MachineConfig] = None,
+    ) -> None:
+        self.config = config or default_config()
+        if not (0 <= rid < self.config.cluster_rows):
+            raise ValueError(f"row id {rid} out of range")
+        if not (0 <= cid < self.config.cluster_cols):
+            raise ValueError(f"column id {cid} out of range")
+        self.rid = rid
+        self.cid = cid
+        self._spm = np.zeros(
+            self.config.spm_bytes // self.config.dtype_bytes, dtype=np.float32
+        )
+
+    @property
+    def cpe_id(self) -> int:
+        return self.rid * self.config.cluster_cols + self.cid
+
+    @property
+    def spm_elems(self) -> int:
+        return self._spm.size
+
+    # --- SPM access (element-granular; offsets are in elements) ----------
+    def spm_write(self, offset: int, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=np.float32).reshape(-1)
+        self._check(offset, data.size)
+        self._spm[offset : offset + data.size] = data
+
+    def spm_read(self, offset: int, count: int) -> np.ndarray:
+        self._check(offset, count)
+        return self._spm[offset : offset + count].copy()
+
+    def spm_view(self, offset: int, count: int) -> np.ndarray:
+        """Zero-copy window (kernel-internal use)."""
+        self._check(offset, count)
+        return self._spm[offset : offset + count]
+
+    def spm_clear(self) -> None:
+        self._spm[:] = 0.0
+
+    def _check(self, offset: int, count: int) -> None:
+        if count < 0 or offset < 0 or offset + count > self._spm.size:
+            raise SpmCapacityError(
+                f"SPM access [{offset}, {offset + count}) outside "
+                f"[0, {self._spm.size}) on CPE ({self.rid},{self.cid})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cpe(rid={self.rid}, cid={self.cid})"

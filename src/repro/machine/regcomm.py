@@ -1,0 +1,158 @@
+"""Register communication on the 8x8 CPE mesh.
+
+The CPE cluster provides low-latency register-level data sharing: a CPE
+can ``put`` a 256-bit value onto its row or column bus and every CPE in
+the same row/column can ``get`` it (aggregate cluster bandwidth
+647 GB/s per the benchmark the paper cites).  The cluster GEMM kernels
+use it to broadcast A panels along rows and B panels along columns so
+that each CPE, holding only 1/64 of the operands, can compute its tile
+of C (Fig. 12).
+
+This module gives the mesh a functional model (used by the faithful
+per-CPE GEMM reference in tests) and a timing model (cycles per burst,
+plus the pattern-switch penalty that appears in the paper's compute
+cost discussion, Sec. 4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import RegCommError
+from .config import MachineConfig, default_config
+
+
+@dataclass(frozen=True)
+class CommPattern:
+    """A register-communication pattern: who broadcasts on which bus.
+
+    ``axis`` is ``"row"`` (producer broadcasts to its row) or ``"col"``;
+    ``producer`` is the broadcasting lane index within each row/column.
+    Changing pattern between bursts costs
+    ``config.regcomm_switch_cycles``.
+    """
+
+    axis: str
+    producer: int
+
+    def __post_init__(self) -> None:
+        if self.axis not in ("row", "col"):
+            raise RegCommError(f"axis must be 'row' or 'col', got {self.axis!r}")
+        if self.producer < 0:
+            raise RegCommError("producer index must be non-negative")
+
+
+class RegCommMesh:
+    """Functional + timing model of the cluster's register buses."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or default_config()
+        self._last_pattern: Optional[CommPattern] = None
+        self.cycles_used: float = 0.0
+        self.bytes_moved: int = 0
+        self.switches: int = 0
+
+    # --- timing -----------------------------------------------------------
+    def burst_cycles(self, payload_bytes: int, pattern: CommPattern) -> float:
+        """Cycles for one broadcast burst of ``payload_bytes`` per bus.
+
+        The first burst of a new pattern pays the switch penalty plus the
+        wire latency; subsequent bursts of the same pattern are pipelined
+        and pay only the throughput term.
+        """
+        cfg = self.config
+        if payload_bytes < 0:
+            raise RegCommError("negative payload")
+        cycles = payload_bytes / cfg.regcomm_bytes_per_cycle
+        if pattern != self._last_pattern:
+            cycles += cfg.regcomm_switch_cycles + cfg.regcomm_latency_cycles
+            self.switches += 1
+            self._last_pattern = pattern
+        self.cycles_used += cycles
+        self.bytes_moved += payload_bytes
+        return cycles
+
+    def reset(self) -> None:
+        self._last_pattern = None
+        self.cycles_used = 0.0
+        self.bytes_moved = 0
+        self.switches = 0
+
+    # --- functional ---------------------------------------------------------
+    def broadcast(
+        self,
+        grid: List[List[Optional[np.ndarray]]],
+        pattern: CommPattern,
+    ) -> List[List[np.ndarray]]:
+        """Broadcast values over the mesh.
+
+        ``grid[r][c]`` holds the value each CPE *would* put on the bus
+        (only the producer lane's value is used).  Returns the full
+        received grid: under a ``row`` pattern every CPE in row ``r``
+        receives ``grid[r][producer]``; under ``col`` every CPE in
+        column ``c`` receives ``grid[producer][c]``.
+        """
+        cfg = self.config
+        rows, cols = cfg.cluster_rows, cfg.cluster_cols
+        if len(grid) != rows or any(len(row) != cols for row in grid):
+            raise RegCommError(
+                f"grid must be {rows}x{cols}, got "
+                f"{len(grid)}x{len(grid[0]) if grid else 0}"
+            )
+        if pattern.axis == "row":
+            if pattern.producer >= cols:
+                raise RegCommError(
+                    f"row-bus producer column {pattern.producer} out of range"
+                )
+            out = []
+            for r in range(rows):
+                src = grid[r][pattern.producer]
+                if src is None:
+                    raise RegCommError(f"producer ({r},{pattern.producer}) has no data")
+                out.append([np.array(src, copy=True) for _ in range(cols)])
+            return out
+        if pattern.producer >= rows:
+            raise RegCommError(
+                f"col-bus producer row {pattern.producer} out of range"
+            )
+        out = [[None] * cols for _ in range(rows)]  # type: ignore[list-item]
+        for c in range(cols):
+            src = grid[pattern.producer][c]
+            if src is None:
+                raise RegCommError(f"producer ({pattern.producer},{c}) has no data")
+            for r in range(rows):
+                out[r][c] = np.array(src, copy=True)
+        return out  # type: ignore[return-value]
+
+    # --- accounting ----------------------------------------------------------
+    def aggregate_bandwidth(self, elapsed_cycles: float) -> float:
+        """Achieved aggregate bandwidth in bytes/s over all 64 CPEs
+        (each consumer receives the payload, as in the 647 GB/s figure)."""
+        cfg = self.config
+        if elapsed_cycles <= 0:
+            return 0.0
+        consumers = cfg.cpes_per_cg
+        delivered = self.bytes_moved * consumers
+        return delivered / cfg.cycles_to_seconds(elapsed_cycles)
+
+
+def gemm_broadcast_plan(
+    k_steps: int,
+    config: Optional[MachineConfig] = None,
+) -> List[CommPattern]:
+    """The alternating row/column broadcast sequence of the cluster GEMM.
+
+    For each k-step the producing column (for A, row buses) and the
+    producing row (for B, column buses) advance round-robin so every
+    CPE's local panel gets its turn -- this is what makes the
+    pattern-switch penalty a real term in the compute cost model.
+    """
+    cfg = config or default_config()
+    plan: List[CommPattern] = []
+    for k in range(k_steps):
+        plan.append(CommPattern("row", k % cfg.cluster_cols))
+        plan.append(CommPattern("col", k % cfg.cluster_rows))
+    return plan

@@ -1,0 +1,202 @@
+"""Event tracing and simulation reports.
+
+The executor and the primitives record *events* (DMA transfers, kernel
+invocations, transform stages) onto a :class:`Trace`.  A finished run is
+summarised into a :class:`SimReport`, the object every benchmark and
+experiment consumes: simulated cycles/seconds, DMA vs. compute
+breakdown, bytes moved (including DRAM-transaction waste), achieved
+GFLOPS and efficiency against peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from .config import MachineConfig, default_config
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timed event on the simulated machine.
+
+    ``kind`` is a small vocabulary: ``"dma"``, ``"gemm"``, ``"transform"``,
+    ``"gld"``, ``"overhead"``.  ``start``/``end`` are cycle stamps on the
+    owning core group's timeline.
+    """
+
+    kind: str
+    start: float
+    end: float
+    detail: str = ""
+    bytes_moved: int = 0
+    waste_bytes: int = 0
+    flops: int = 0
+
+    @property
+    def cycles(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Append-only event log for one simulated run on one CG."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def add(
+        self,
+        kind: str,
+        start: float,
+        end: float,
+        detail: str = "",
+        bytes_moved: int = 0,
+        waste_bytes: int = 0,
+        flops: int = 0,
+    ) -> TraceEvent:
+        ev = TraceEvent(kind, start, end, detail, bytes_moved, waste_bytes, flops)
+        self.record(ev)
+        return ev
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def total_cycles(self, kind: str) -> float:
+        """Total *busy* cycles of the given event kind (may overlap other
+        kinds, e.g. DMA overlapping compute under double buffering)."""
+        return sum(e.cycles for e in self._events if e.kind == kind)
+
+    def span(self) -> float:
+        """End-to-end cycle span covered by the trace."""
+        if not self._events:
+            return 0.0
+        return max(e.end for e in self._events) - min(e.start for e in self._events)
+
+
+@dataclass
+class SimReport:
+    """Summary of a simulated execution.
+
+    ``cycles`` is the end-to-end makespan (on the critical CG when a
+    kernel is sharded across core groups).  ``dma_cycles`` and
+    ``compute_cycles`` are busy times and may sum to more than
+    ``cycles`` when DMA is overlapped with computation.
+    """
+
+    cycles: float
+    dma_cycles: float = 0.0
+    compute_cycles: float = 0.0
+    bytes_moved: int = 0
+    waste_bytes: int = 0
+    flops: int = 0
+    num_cgs_used: int = 1
+    detail: str = ""
+    config: MachineConfig = field(default_factory=default_config)
+
+    @property
+    def seconds(self) -> float:
+        return self.config.cycles_to_seconds(self.cycles)
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFLOP/s (0 when no time elapsed)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.flops / self.seconds / 1e9
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved fraction of the peak of the CGs actually used."""
+        peak = self.num_cgs_used * self.config.cg_peak_flops
+        if self.cycles <= 0 or peak <= 0:
+            return 0.0
+        return (self.flops / self.seconds) / peak
+
+    @property
+    def overlap_fraction(self) -> float:
+        """How much of the DMA busy time was hidden behind compute."""
+        serial = self.dma_cycles + self.compute_cycles
+        if serial <= 0:
+            return 0.0
+        hidden = max(0.0, serial - self.cycles)
+        return hidden / serial
+
+    def speedup_over(self, other: "SimReport") -> float:
+        """``other.cycles / self.cycles`` -- >1 means *self* is faster."""
+        if self.cycles <= 0:
+            raise ZeroDivisionError("report has zero cycles")
+        return other.cycles / self.cycles
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Trace,
+        *,
+        makespan: Optional[float] = None,
+        num_cgs_used: int = 1,
+        config: Optional[MachineConfig] = None,
+        detail: str = "",
+    ) -> "SimReport":
+        cfg = config or default_config()
+        events = trace.events()
+        return cls(
+            cycles=trace.span() if makespan is None else makespan,
+            dma_cycles=trace.total_cycles("dma") + trace.total_cycles("gld"),
+            compute_cycles=trace.total_cycles("gemm")
+            + trace.total_cycles("transform"),
+            bytes_moved=sum(e.bytes_moved for e in events),
+            waste_bytes=sum(e.waste_bytes for e in events),
+            flops=sum(e.flops for e in events),
+            num_cgs_used=num_cgs_used,
+            config=cfg,
+            detail=detail,
+        )
+
+    @staticmethod
+    def merge_parallel(reports: List["SimReport"], detail: str = "") -> "SimReport":
+        """Combine per-CG reports of one kernel sharded across core
+        groups: makespan = max, traffic/flops = sum."""
+        if not reports:
+            raise ValueError("no reports to merge")
+        cfg = reports[0].config
+        return SimReport(
+            cycles=max(r.cycles for r in reports),
+            dma_cycles=sum(r.dma_cycles for r in reports),
+            compute_cycles=sum(r.compute_cycles for r in reports),
+            bytes_moved=sum(r.bytes_moved for r in reports),
+            waste_bytes=sum(r.waste_bytes for r in reports),
+            flops=sum(r.flops for r in reports),
+            num_cgs_used=sum(r.num_cgs_used for r in reports),
+            config=cfg,
+            detail=detail,
+        )
+
+    @staticmethod
+    def merge_serial(reports: List["SimReport"], detail: str = "") -> "SimReport":
+        """Combine reports of stages executed back-to-back on the same
+        CG(s): makespan = sum, traffic/flops = sum."""
+        if not reports:
+            raise ValueError("no reports to merge")
+        cfg = reports[0].config
+        return SimReport(
+            cycles=sum(r.cycles for r in reports),
+            dma_cycles=sum(r.dma_cycles for r in reports),
+            compute_cycles=sum(r.compute_cycles for r in reports),
+            bytes_moved=sum(r.bytes_moved for r in reports),
+            waste_bytes=sum(r.waste_bytes for r in reports),
+            flops=sum(r.flops for r in reports),
+            num_cgs_used=max(r.num_cgs_used for r in reports),
+            config=cfg,
+            detail=detail,
+        )

@@ -1,0 +1,107 @@
+"""Trace export: Chrome tracing JSON and text timelines.
+
+A :class:`~repro.machine.trace.Trace` can be exported to the Chrome
+``chrome://tracing`` / Perfetto event format for visual inspection of
+DMA/compute overlap, or rendered as a plain-text timeline for terminals
+and docs.  Both views make the double-buffering behaviour of Fig. 10
+directly visible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .config import MachineConfig, default_config
+from .trace import Trace
+
+#: trace rows ("threads") per event kind
+_LANE = {"dma": 1, "gld": 1, "gemm": 2, "transform": 2, "overhead": 3}
+_LANE_NAME = {1: "DMA engine", 2: "CPE compute", 3: "overhead"}
+
+
+def to_chrome_trace(
+    trace: Trace,
+    config: Optional[MachineConfig] = None,
+    *,
+    process_name: str = "SW26010 CG0",
+) -> str:
+    """Serialise a trace as Chrome tracing JSON (microsecond units)."""
+    cfg = config or default_config()
+    events: List[Dict] = []
+    for lane, name in _LANE_NAME.items():
+        events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": lane,
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+    events.append(
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    )
+    for ev in trace:
+        us = 1e6 / cfg.clock_hz
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": _LANE.get(ev.kind, 3),
+                "name": ev.detail or ev.kind,
+                "cat": ev.kind,
+                "ts": ev.start * us,
+                "dur": max(ev.cycles * us, 0.001),
+                "args": {
+                    "bytes_moved": ev.bytes_moved,
+                    "waste_bytes": ev.waste_bytes,
+                    "flops": ev.flops,
+                },
+            }
+        )
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+
+
+def render_timeline(
+    trace: Trace,
+    *,
+    width: int = 72,
+    max_rows: int = 40,
+) -> str:
+    """Plain-text two-lane timeline: ``#`` = DMA busy, ``=`` = compute.
+
+    One character per time bucket; overlapping lanes printed on
+    separate lines so the Fig. 10 overlap is visible at a glance.
+    """
+    events = trace.events()
+    if not events:
+        return "(empty trace)"
+    t0 = min(e.start for e in events)
+    t1 = max(e.end for e in events)
+    span = max(t1 - t0, 1.0)
+    scale = width / span
+
+    def lane_chars(kinds: tuple, mark: str) -> str:
+        cells = [" "] * width
+        for ev in events:
+            if ev.kind not in kinds:
+                continue
+            a = int((ev.start - t0) * scale)
+            b = max(a + 1, int((ev.end - t0) * scale))
+            for i in range(a, min(b, width)):
+                cells[i] = mark
+        return "".join(cells)
+
+    lines = [
+        f"timeline over {span:,.0f} cycles ('#' = DMA, '=' = compute)",
+        "DMA     |" + lane_chars(("dma", "gld"), "#") + "|",
+        "compute |" + lane_chars(("gemm", "transform"), "=") + "|",
+    ]
+    return "\n".join(lines)

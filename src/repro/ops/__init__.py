@@ -1,0 +1,21 @@
+"""DL operators expressed over tensorized primitives (Sec. 3)."""
+
+from . import conv_explicit, conv_implicit, conv_winograd, gemm, im2col
+from .conv_common import ConvParams, pad_input
+from .direct import conv2d_loops, conv2d_reference
+from .selector import METHODS, applicable_methods, select_method
+
+__all__ = [
+    "ConvParams",
+    "pad_input",
+    "conv2d_reference",
+    "conv2d_loops",
+    "gemm",
+    "im2col",
+    "conv_implicit",
+    "conv_explicit",
+    "conv_winograd",
+    "METHODS",
+    "applicable_methods",
+    "select_method",
+]

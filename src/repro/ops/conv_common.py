@@ -1,0 +1,113 @@
+"""Shared convolution parameter handling.
+
+The paper's operators (Alg. 1/2, Fig. 2) are unit-stride multi-channel
+convolutions; spatial padding is applied to the input ahead of the
+kernel (both swATOP and the manual libraries see the same pre-padded
+tensor, so comparisons are unaffected).  Strided convolutions are
+supported by the direct reference but are outside the tensorized
+templates, mirroring the paper's layer selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ConvParams:
+    """One convolution operator configuration.
+
+    ``ri``/``ci`` are the *unpadded* input spatial extents; ``pad`` is
+    symmetric spatial zero-padding.  Output: ``ro = ri + 2 pad - kr + 1``
+    (unit stride).
+    """
+
+    batch: int
+    ni: int       # input channels
+    no: int       # output channels
+    ri: int       # input rows
+    ci: int       # input cols
+    kr: int = 3
+    kc: int = 3
+    pad: int = 0
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in ("batch", "ni", "no", "ri", "ci", "kr", "kc", "stride"):
+            if getattr(self, field_name) <= 0:
+                raise WorkloadError(f"{field_name} must be positive")
+        if self.pad < 0:
+            raise WorkloadError("pad must be non-negative")
+        if self.ro <= 0 or self.co <= 0:
+            raise WorkloadError(
+                f"kernel {self.kr}x{self.kc} larger than padded input "
+                f"{self.padded_ri}x{self.padded_ci}"
+            )
+
+    # --- derived shapes -----------------------------------------------------
+    @property
+    def padded_ri(self) -> int:
+        return self.ri + 2 * self.pad
+
+    @property
+    def padded_ci(self) -> int:
+        return self.ci + 2 * self.pad
+
+    @property
+    def ro(self) -> int:
+        return (self.padded_ri - self.kr) // self.stride + 1
+
+    @property
+    def co(self) -> int:
+        return (self.padded_ci - self.kc) // self.stride + 1
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int, int]:
+        return (self.batch, self.ni, self.ri, self.ci)
+
+    @property
+    def padded_input_shape(self) -> Tuple[int, int, int, int]:
+        return (self.batch, self.ni, self.padded_ri, self.padded_ci)
+
+    @property
+    def weight_shape(self) -> Tuple[int, int, int, int]:
+        return (self.no, self.ni, self.kr, self.kc)
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int, int]:
+        return (self.batch, self.no, self.ro, self.co)
+
+    @property
+    def flops(self) -> int:
+        """Direct-convolution FLOPs -- the normalisation the paper uses
+        for throughput even when Winograd does less arithmetic."""
+        return 2 * self.batch * self.no * self.ro * self.co * self.ni * self.kr * self.kc
+
+    def with_batch(self, batch: int) -> "ConvParams":
+        return replace(self, batch=batch)
+
+    def describe(self) -> str:
+        return (
+            f"B{self.batch} Ni{self.ni} No{self.no} "
+            f"{self.ri}x{self.ci} k{self.kr}x{self.kc} p{self.pad} s{self.stride}"
+        )
+
+
+def pad_input(x: np.ndarray, params: ConvParams) -> np.ndarray:
+    """Apply the spatial zero padding of ``params`` to an input tensor."""
+    if x.shape != params.input_shape:
+        raise WorkloadError(
+            f"input shape {x.shape} does not match {params.input_shape}"
+        )
+    if params.pad == 0:
+        return np.asarray(x, dtype=np.float32)
+    p = params.pad
+    return np.pad(
+        np.asarray(x, dtype=np.float32),
+        ((0, 0), (0, 0), (p, p), (p, p)),
+    )

@@ -1,0 +1,126 @@
+"""Explicit-GEMM convolution (Fig. 2 left): im2col + one big GEMM.
+
+A two-stage operator:
+
+1. **expand** -- :mod:`repro.ops.im2col` materialises the column matrix
+   in main memory (DMA-streamed, transaction-accurate cost);
+2. **multiply** -- ``Out[No, B*Ro*Co] = W[No, Ni*Kr*Kc] @ Col`` runs
+   through the ordinary tuned GEMM machinery; the column-matrix layout
+   chosen in stage 1 becomes the B-tensor layout of the GEMM.
+
+swATOP tunes the GEMM schedule *jointly* with the column layout; the
+manual baseline performs a fixed-layout im2col and calls the xMath
+routine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..dsl.compute import ComputeDef
+from ..dsl.schedule import ScheduleSpace
+from ..errors import WorkloadError
+from ..machine.config import MachineConfig, default_config
+from ..machine.trace import SimReport
+from .conv_common import ConvParams
+from .gemm import make_compute as make_gemm_compute
+from .gemm import make_space as make_gemm_space
+from .im2col import LAYOUTS, im2col, im2col_cost
+
+
+def applicable(params: ConvParams) -> bool:
+    return params.stride == 1
+
+
+def gemm_dims(params: ConvParams) -> Dict[str, int]:
+    return {
+        "m": params.no,
+        "n": params.batch * params.ro * params.co,
+        "k": params.ni * params.kr * params.kc,
+    }
+
+
+def make_compute(params: ConvParams) -> ComputeDef:
+    """Seed of the stage-2 GEMM (the tensorized part of the method)."""
+    if not applicable(params):
+        raise WorkloadError(
+            f"explicit conv not applicable to {params.describe()}"
+        )
+    d = gemm_dims(params)
+    return make_gemm_compute(d["m"], d["n"], d["k"])
+
+
+def make_space(params: ConvParams, *, quick: bool = False) -> ScheduleSpace:
+    """GEMM space extended with the column-matrix layout choice.
+
+    The ``layout:B`` decision doubles as the im2col output layout:
+    identity = ``kn`` (K-major column matrix), transposed = ``nk``.
+    """
+    cd = make_compute(params)
+    sp = make_gemm_space(cd, quick=quick, layouts=not quick)
+    sp.layout("B", [(0, 1), (1, 0)])
+    return sp
+
+
+def col_layout_of(strategy) -> str:
+    """Which im2col layout a GEMM strategy implies."""
+    perm = strategy.get("layout:B", (0, 1))
+    return "kn" if tuple(perm) == (0, 1) else "nk"
+
+
+def weight_matrix(w: np.ndarray, params: ConvParams) -> np.ndarray:
+    if w.shape != params.weight_shape:
+        raise WorkloadError(
+            f"weight shape {w.shape} does not match {params.weight_shape}"
+        )
+    k = params.ni * params.kr * params.kc
+    return np.ascontiguousarray(
+        np.asarray(w, dtype=np.float32).reshape(params.no, k)
+    )
+
+
+def output_from_matrix(mat: np.ndarray, params: ConvParams) -> np.ndarray:
+    """Fold the GEMM result back into (B, No, Ro, Co)."""
+    no = params.no
+    expect = (no, params.batch * params.ro * params.co)
+    if mat.shape != expect:
+        raise WorkloadError(f"result shape {mat.shape} != {expect}")
+    return np.ascontiguousarray(
+        mat.reshape(no, params.batch, params.ro, params.co).transpose(1, 0, 2, 3)
+    )
+
+
+@dataclass
+class ExplicitStages:
+    """Per-stage timing of one explicit-conv execution."""
+
+    expand: SimReport
+    multiply: SimReport
+
+    @property
+    def total(self) -> SimReport:
+        return SimReport.merge_serial(
+            [self.expand, self.multiply], detail="conv_explicit"
+        )
+
+
+def expand_report(
+    params: ConvParams,
+    layout: str,
+    config: Optional[MachineConfig] = None,
+) -> SimReport:
+    """The im2col stage as a SimReport (pure data movement)."""
+    if layout not in LAYOUTS:
+        raise WorkloadError(f"unknown col layout {layout!r}")
+    cfg = config or default_config()
+    cost = im2col_cost(params, layout, cfg)
+    return SimReport(
+        cycles=cost.cycles,
+        dma_cycles=cost.cycles,
+        bytes_moved=cost.bytes_read + cost.bytes_written,
+        config=cfg,
+        detail=f"im2col[{layout}]",
+    )

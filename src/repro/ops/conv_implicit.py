@@ -1,0 +1,129 @@
+"""Implicit-GEMM convolution (Alg. 2, Fig. 2 right).
+
+Direct convolution whose inner loops are replaced by GEMM primitives:
+for each (kr, kc) kernel offset, a GEMM over
+
+* M = output channels (``No``),
+* N = batch x spatial tile (``B * Ro_t * Co_t`` -- the loop fusion of
+  Sec. 4.3.1),
+* K = input channels (``Ni``),
+
+accumulating the output tile in SPM across all reduction loops.
+
+The input tensor must be pre-padded (see
+:func:`repro.ops.conv_common.pad_input`); the seed describes the padded
+extents with the conv shift ``cRi = cRo + cKr`` as shifted dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..dsl.compute import ComputeDef, ShiftedDim
+from ..dsl.schedule import ScheduleSpace
+from ..errors import WorkloadError
+from .conv_common import ConvParams
+
+#: implicit conv needs enough input channels to feed the GEMM K
+#: dimension; below this the method is not applicable (the paper
+#: excludes each network's first layer for exactly this reason).
+MIN_NI = 8
+
+
+def applicable(params: ConvParams) -> bool:
+    return params.stride == 1 and params.ni >= MIN_NI
+
+
+def make_compute(params: ConvParams) -> ComputeDef:
+    """Schedule seed over the pre-padded input."""
+    if not applicable(params):
+        raise WorkloadError(
+            f"implicit conv not applicable to {params.describe()} "
+            f"(needs stride 1 and Ni >= {MIN_NI})"
+        )
+    cd = ComputeDef(
+        f"conv_implicit_b{params.batch}_ni{params.ni}_no{params.no}"
+        f"_r{params.ro}"
+    )
+    cd.axis("B", params.batch)
+    cd.axis("No", params.no)
+    cd.axis("Ro", params.ro)
+    cd.axis("Co", params.co)
+    cd.axis("Ni", params.ni, reduction=True)
+    cd.axis("Kr", params.kr, reduction=True)
+    cd.axis("Kc", params.kc, reduction=True)
+    cd.tensor(
+        "input",
+        ["B", "Ni", ShiftedDim("Ro", "Kr"), ShiftedDim("Co", "Kc")],
+        "input",
+    )
+    cd.tensor("weight", ["No", "Ni", "Kr", "Kc"], "weight")
+    cd.tensor("out", ["B", "No", "Ro", "Co"], "output")
+    cd.define_gemm("out", "weight", "input", m="No", n=["B", "Ro", "Co"], k="Ni")
+    return cd
+
+
+def _spatial_tiles(extent: int, quick: bool) -> List[int]:
+    cands = [t for t in (4, 8, 16, 32) if t <= extent]
+    if not cands:
+        cands = [extent]
+    if extent <= 32 and extent not in cands:
+        cands.append(extent)
+    if quick:
+        # keep the small end too: large-batch candidates need small
+        # spatial tiles to fit the scratch pad
+        cands = cands[-3:]
+    return sorted(set(cands))
+
+
+def _channel_tiles(extent: int, quick: bool) -> List[int]:
+    cands = [t for t in (16, 32, 64, 128, 256) if t <= extent]
+    if not cands:
+        cands = [extent]
+    if quick:
+        cands = cands[-2:]
+    return sorted(set(cands))
+
+
+def _batch_tiles(extent: int, quick: bool) -> List[int]:
+    cands = [t for t in (1, 2, 4, 8, 16, 32) if t <= extent]
+    if quick:
+        cands = cands[-2:]
+    return sorted(set(cands))
+
+
+def make_space(params: ConvParams, *, quick: bool = False) -> ScheduleSpace:
+    """The implicit-conv schedule space.
+
+    Loop orders keep the reduction axes (Ni, Kr, Kc) innermost (the
+    SPM-accumulation legality rule); layout candidates include the
+    canonical NCHW storage and the channels-spatial-batch layout the
+    manual swDNN library prefers.
+    """
+    cd = make_compute(params)
+    sp = ScheduleSpace(cd)
+    sp.split("B", _batch_tiles(params.batch, quick))
+    sp.split("No", _channel_tiles(params.no, quick))
+    sp.split("Ni", _channel_tiles(params.ni, quick))
+    sp.split("Ro", _spatial_tiles(params.ro, quick))
+    sp.split("Co", _spatial_tiles(params.co, quick))
+    sp.split("Kr", [1])
+    sp.split("Kc", [1])
+    orders = [
+        ("Ro", "Co", "B", "No", "Kr", "Kc", "Ni"),   # Alg. 2's order
+        ("No", "Ro", "Co", "B", "Kr", "Kc", "Ni"),
+        ("B", "Ro", "Co", "No", "Kr", "Kc", "Ni"),
+    ]
+    if not quick:
+        orders.append(("Ro", "B", "Co", "No", "Ni", "Kr", "Kc"))
+    sp.reorder(orders)
+    # NCHW vs (Ni, Ri, Ci, B): batch-contiguous storage makes the fused
+    # N dimension of the GEMM a long contiguous DMA run
+    layouts = [(0, 1, 2, 3), (1, 2, 3, 0)]
+    sp.layout("input", layouts)
+    sp.layout("out", layouts)
+    # weights repacked (Kr, Kc, No, Ni): each (kr, kc) slice is one
+    # contiguous DMA chunk instead of Kr*Kc-strided single elements
+    sp.layout("weight", [(2, 3, 0, 1), (0, 1, 2, 3)])
+    sp.vectorize()
+    return sp

@@ -1,0 +1,361 @@
+"""Winograd convolution (Fig. 2 middle): F(2x2, 3x3) and F(4x4, 3x3).
+
+Minimal-filtering convolution over small input tiles (Lavin & Gray).
+Pipeline for a variant F(m x m, 3x3) with transformed-tile edge
+``t = m + 2``:
+
+1. **filter transform** ``U[xi, nu, No, Ni] = G w G^T``;
+2. **input transform** ``V[xi, nu, Ni, P] = B^T d B`` over the
+   P = B * ceil(Ro/m) * ceil(Co/m) tiles;
+3. **t*t batched GEMMs** ``M[t, No, P] = U[t] @ V[t]`` -- the paper's
+   "batch of GEMM operations, i.e. 16 multiplications for 3x3 kernels"
+   (36 for the F(4x4) variant).  In swATOP the batch index is just
+   another spatial axis of the tensorized seed, so one tuned schedule
+   serves the whole batch and the DMA of consecutive slices streams
+   through the double buffer;
+4. **output transform** ``Y = A^T M A`` folded back to (B, No, Ro, Co).
+
+F(2x2) does 2.25x less multiply work than direct convolution at high
+numerical robustness; F(4x4) reaches 4x at larger transform cost and
+looser fp32 accuracy -- the classic trade real libraries tune, exposed
+here through ``variant="auto"`` (tune both, keep the faster).
+
+Transforms run on the CPEs (vector adds) and stream through DMA; their
+costs use the same machine constants as everything else.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..dsl.compute import ComputeDef
+from ..dsl.schedule import ScheduleSpace
+from ..errors import WorkloadError
+from ..machine.config import MachineConfig, default_config
+from ..machine.trace import SimReport
+from .conv_common import ConvParams, pad_input
+
+
+@dataclass(frozen=True)
+class WinogradVariant:
+    """One F(m x m, r x r) instantiation."""
+
+    name: str
+    out_tile: int                  # m
+    tile: int                      # m + r - 1
+    bt: Tuple[Tuple[float, ...], ...]
+    g: Tuple[Tuple[float, ...], ...]
+    at: Tuple[Tuple[float, ...], ...]
+    input_xform_ops: int           # fp ops per tile per channel
+    output_xform_ops: int
+    filter_xform_ops: int
+
+    @property
+    def num_gemms(self) -> int:
+        return self.tile * self.tile
+
+    @property
+    def BT(self) -> np.ndarray:
+        return np.asarray(self.bt, dtype=np.float32)
+
+    @property
+    def Gm(self) -> np.ndarray:
+        return np.asarray(self.g, dtype=np.float32)
+
+    @property
+    def AT(self) -> np.ndarray:
+        return np.asarray(self.at, dtype=np.float32)
+
+
+#: F(2x2, 3x3): 4x4 tiles, 16 GEMMs, 2.25x multiply reduction.
+F22 = WinogradVariant(
+    name="f22",
+    out_tile=2,
+    tile=4,
+    bt=((1, 0, -1, 0), (0, 1, 1, 0), (0, -1, 1, 0), (0, 1, 0, -1)),
+    g=((1.0, 0.0, 0.0), (0.5, 0.5, 0.5), (0.5, -0.5, 0.5), (0.0, 0.0, 1.0)),
+    at=((1, 1, 1, 0), (0, 1, -1, -1)),
+    input_xform_ops=32,
+    output_xform_ops=24,
+    filter_xform_ops=28,
+)
+
+#: F(4x4, 3x3): 6x6 tiles, 36 GEMMs, 4x multiply reduction.
+F44 = WinogradVariant(
+    name="f44",
+    out_tile=4,
+    tile=6,
+    bt=(
+        (4, 0, -5, 0, 1, 0),
+        (0, -4, -4, 1, 1, 0),
+        (0, 4, -4, -1, 1, 0),
+        (0, -2, -1, 2, 1, 0),
+        (0, 2, -1, -2, 1, 0),
+        (0, 4, 0, -5, 0, 1),
+    ),
+    g=(
+        (1 / 4, 0, 0),
+        (-1 / 6, -1 / 6, -1 / 6),
+        (-1 / 6, 1 / 6, -1 / 6),
+        (1 / 24, 1 / 12, 1 / 6),
+        (1 / 24, -1 / 12, 1 / 6),
+        (0, 0, 1),
+    ),
+    at=(
+        (1, 1, 1, 1, 1, 0),
+        (0, 1, -1, 2, -2, 0),
+        (0, 1, 1, 4, 4, 0),
+        (0, 1, -1, 8, -8, 1),
+    ),
+    input_xform_ops=156,
+    output_xform_ops=102,
+    filter_xform_ops=90,
+)
+
+VARIANTS: Dict[str, WinogradVariant] = {"f22": F22, "f44": F44}
+
+# --- backward-compatible module-level aliases (the F22 defaults) --------
+G = F22.Gm
+BT = F22.BT
+AT = F22.AT
+TILE = F22.tile
+OUT_TILE = F22.out_tile
+NUM_GEMMS = F22.num_gemms
+INPUT_XFORM_OPS = F22.input_xform_ops
+OUTPUT_XFORM_OPS = F22.output_xform_ops
+FILTER_XFORM_OPS = F22.filter_xform_ops
+
+
+def get_variant(variant) -> WinogradVariant:
+    if isinstance(variant, WinogradVariant):
+        return variant
+    if variant is None:
+        return F22
+    try:
+        return VARIANTS[variant]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown Winograd variant {variant!r}; choose from "
+            f"{sorted(VARIANTS)}"
+        ) from None
+
+
+def applicable(params: ConvParams) -> bool:
+    """Winograd F(m,3) needs a unit-stride 3x3 kernel."""
+    return params.stride == 1 and params.kr == 3 and params.kc == 3
+
+
+def tile_counts(params: ConvParams, variant=None) -> Tuple[int, int, int]:
+    """(tiles_r, tiles_c, P) -- spatial tile grid and batched-GEMM N."""
+    v = get_variant(variant)
+    tr = math.ceil(params.ro / v.out_tile)
+    tc = math.ceil(params.co / v.out_tile)
+    return tr, tc, params.batch * tr * tc
+
+
+# ---------------------------------------------------------------------------
+# functional pipeline
+# ---------------------------------------------------------------------------
+def filter_transform(
+    w: np.ndarray, params: ConvParams, variant=None
+) -> np.ndarray:
+    """U[t, t, No, Ni] = G w G^T."""
+    v = get_variant(variant)
+    if w.shape != params.weight_shape:
+        raise WorkloadError(f"weight shape {w.shape} != {params.weight_shape}")
+    u = np.einsum("xr,oirc,yc->xyoi", v.Gm, w.astype(np.float32), v.Gm,
+                  optimize=True)
+    return np.ascontiguousarray(u, dtype=np.float32)
+
+
+def input_transform(
+    x: np.ndarray, params: ConvParams, variant=None
+) -> np.ndarray:
+    """V[t, t, Ni, P] = B^T d B over all tiles (input pre-padded here)."""
+    v = get_variant(variant)
+    xp = pad_input(x, params)
+    tr, tc, p = tile_counts(params, v)
+    need_r = (tr - 1) * v.out_tile + v.tile
+    need_c = (tc - 1) * v.out_tile + v.tile
+    pr = max(0, need_r - xp.shape[2])
+    pc = max(0, need_c - xp.shape[3])
+    if pr or pc:
+        xp = np.pad(xp, ((0, 0), (0, 0), (0, pr), (0, pc)))
+    b, ni = xp.shape[0], xp.shape[1]
+    tiles = np.empty((b, ni, tr, tc, v.tile, v.tile), dtype=np.float32)
+    for i in range(tr):
+        for j in range(tc):
+            r0, c0 = i * v.out_tile, j * v.out_tile
+            tiles[:, :, i, j] = xp[:, :, r0 : r0 + v.tile, c0 : c0 + v.tile]
+    out = np.einsum("xr,bnijrc,yc->xynbij", v.BT, tiles, v.BT, optimize=True)
+    return np.ascontiguousarray(
+        out.reshape(v.tile, v.tile, ni, p), dtype=np.float32
+    )
+
+
+def output_transform(
+    m: np.ndarray, params: ConvParams, variant=None
+) -> np.ndarray:
+    """Y = A^T M A, cropped to (B, No, Ro, Co)."""
+    v = get_variant(variant)
+    tr, tc, p = tile_counts(params, v)
+    no = params.no
+    if m.shape != (v.tile, v.tile, no, p):
+        raise WorkloadError(f"M shape {m.shape} != {(v.tile, v.tile, no, p)}")
+    mt = m.reshape(v.tile, v.tile, no, params.batch, tr, tc)
+    y = np.einsum("ux,xynbij,vy->bnijuv", v.AT, mt, v.AT, optimize=True)
+    out = y.transpose(0, 1, 2, 4, 3, 5).reshape(
+        params.batch, no, tr * v.out_tile, tc * v.out_tile
+    )
+    return np.ascontiguousarray(out[:, :, : params.ro, : params.co])
+
+
+def winograd_reference(
+    x: np.ndarray, w: np.ndarray, params: ConvParams, variant=None
+) -> np.ndarray:
+    """Full functional pipeline (oracle for the tuned path)."""
+    v = get_variant(variant)
+    u = filter_transform(w, params, v)
+    vt = input_transform(x, params, v)
+    m = np.einsum("xyoi,xyip->xyop", u, vt, optimize=True)
+    return output_transform(m, params, v)
+
+
+# ---------------------------------------------------------------------------
+# the tensorized batched-GEMM stage
+# ---------------------------------------------------------------------------
+def make_compute(params: ConvParams, variant=None) -> ComputeDef:
+    """Seed of stage 3: M[T, No, P] += U[T, No, Ni] @ V[T, Ni, P].
+
+    The batch index T is an ordinary spatial axis with tile factor 1;
+    hoisting and double buffering then stream the operand pairs.
+    """
+    v = get_variant(variant)
+    if not applicable(params):
+        raise WorkloadError(
+            f"winograd not applicable to {params.describe()} "
+            "(needs stride 1, 3x3 kernel)"
+        )
+    _, _, p = tile_counts(params, v)
+    cd = ComputeDef(
+        f"conv_winograd_{v.name}_b{params.batch}_ni{params.ni}"
+        f"_no{params.no}_r{params.ro}"
+    )
+    cd.axis("T", v.num_gemms)
+    cd.axis("No", params.no)
+    cd.axis("P", p)
+    cd.axis("Ni", params.ni, reduction=True)
+    cd.tensor("U", ["T", "No", "Ni"], "weight")
+    cd.tensor("V", ["T", "Ni", "P"], "input")
+    cd.tensor("M", ["T", "No", "P"], "output")
+    cd.define_gemm("M", "U", "V", m="No", n=["P"], k="Ni")
+    return cd
+
+
+def make_space(
+    params: ConvParams, *, quick: bool = False, variant=None
+) -> ScheduleSpace:
+    v = get_variant(variant)
+    cd = make_compute(params, v)
+    _, _, p = tile_counts(params, v)
+    sp = ScheduleSpace(cd)
+    sp.split("T", [1])
+    no_cands = [t for t in (32, 64, 128, 256) if t <= params.no] or [params.no]
+    ni_cands = [t for t in (32, 64, 128, 256) if t <= params.ni] or [params.ni]
+    p_cands = [t for t in (64, 128, 256, 512, 1024) if t <= p] or [p]
+    if quick:
+        no_cands, ni_cands, p_cands = no_cands[-2:], ni_cands[-1:], p_cands[-2:]
+    sp.split("No", no_cands)
+    sp.split("Ni", ni_cands)
+    sp.split("P", p_cands)
+    sp.reorder([("T", "No", "P", "Ni"), ("No", "P", "T", "Ni")])
+    if not quick:
+        sp.vectorize()
+    return sp
+
+
+# ---------------------------------------------------------------------------
+# transform-stage costs
+# ---------------------------------------------------------------------------
+def _stream_cycles(nbytes: int, cfg: MachineConfig) -> float:
+    stage = (cfg.spm_bytes // 2) * cfg.cpes_per_cg
+    stages = max(1, math.ceil(nbytes / stage))
+    return stages * (cfg.dma_latency_cycles + cfg.dma_issue_cycles) + (
+        nbytes / cfg.dram_bytes_per_cycle
+    )
+
+
+def _xform_report(
+    name: str,
+    units: int,
+    ops_per_unit: int,
+    read_bytes: int,
+    write_bytes: int,
+    cfg: MachineConfig,
+) -> SimReport:
+    """A transform stage: vector adds on the CPEs overlapping a DMA
+    stream; makespan is whichever dominates plus the fill latency."""
+    flops = units * ops_per_unit
+    # transforms are add-dominated: one lane-wide op per cycle per CPE
+    compute = flops / (cfg.cpes_per_cg * cfg.vector_lanes) * 1.25
+    dma = _stream_cycles(read_bytes + write_bytes, cfg)
+    return SimReport(
+        cycles=max(compute, dma) + cfg.dma_latency_cycles,
+        dma_cycles=dma,
+        compute_cycles=compute,
+        bytes_moved=read_bytes + write_bytes,
+        flops=flops,
+        config=cfg,
+        detail=name,
+    )
+
+
+def input_transform_report(
+    params: ConvParams, config: Optional[MachineConfig] = None, variant=None
+) -> SimReport:
+    v = get_variant(variant)
+    cfg = config or default_config()
+    _, _, p = tile_counts(params, v)
+    units = params.ni * p
+    eb = cfg.dtype_bytes
+    read = params.batch * params.ni * params.padded_ri * params.padded_ci * eb
+    write = v.num_gemms * params.ni * p * eb
+    return _xform_report(
+        f"winograd_input_xform[{v.name}]", units, v.input_xform_ops,
+        read, write, cfg,
+    )
+
+
+def filter_transform_report(
+    params: ConvParams, config: Optional[MachineConfig] = None, variant=None
+) -> SimReport:
+    v = get_variant(variant)
+    cfg = config or default_config()
+    units = params.no * params.ni
+    eb = cfg.dtype_bytes
+    read = params.no * params.ni * 9 * eb
+    write = v.num_gemms * params.no * params.ni * eb
+    return _xform_report(
+        f"winograd_filter_xform[{v.name}]", units, v.filter_xform_ops,
+        read, write, cfg,
+    )
+
+
+def output_transform_report(
+    params: ConvParams, config: Optional[MachineConfig] = None, variant=None
+) -> SimReport:
+    v = get_variant(variant)
+    cfg = config or default_config()
+    _, _, p = tile_counts(params, v)
+    units = params.no * p
+    eb = cfg.dtype_bytes
+    read = v.num_gemms * params.no * p * eb
+    write = params.batch * params.no * params.ro * params.co * eb
+    return _xform_report(
+        f"winograd_output_xform[{v.name}]", units, v.output_xform_ops,
+        read, write, cfg,
+    )

@@ -1,0 +1,64 @@
+"""Direct (MAC-based) convolution reference -- Alg. 1.
+
+Two implementations:
+
+* :func:`conv2d_reference` -- vectorized NumPy, used as the functional
+  oracle for every tensorized method and every baseline;
+* :func:`conv2d_loops` -- the literal 7-level loop nest of Alg. 1,
+  exercised on tiny shapes in tests to anchor the vectorized oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .conv_common import ConvParams, pad_input
+
+
+def conv2d_reference(
+    x: np.ndarray, w: np.ndarray, params: ConvParams
+) -> np.ndarray:
+    """Multi-channel 2-D convolution (cross-correlation, as in DL
+    frameworks and the paper's Alg. 1)."""
+    if w.shape != params.weight_shape:
+        raise WorkloadError(
+            f"weight shape {w.shape} does not match {params.weight_shape}"
+        )
+    xp = pad_input(x, params)
+    b, ni, _, _ = xp.shape
+    out = np.zeros(params.output_shape, dtype=np.float32)
+    s = params.stride
+    ro, co = params.ro, params.co
+    for kr in range(params.kr):
+        for kc in range(params.kc):
+            patch = xp[:, :, kr : kr + s * ro : s, kc : kc + s * co : s]
+            out += np.einsum(
+                "bihw,oi->bohw",
+                patch,
+                w[:, :, kr, kc],
+                optimize=True,
+            ).astype(np.float32)
+    return out
+
+
+def conv2d_loops(x: np.ndarray, w: np.ndarray, params: ConvParams) -> np.ndarray:
+    """Alg. 1 verbatim: seven nested loops of one MAC statement.
+
+    O(B No Ro Co Kr Kc Ni) Python -- for small test shapes only.
+    """
+    xp = pad_input(x, params)
+    out = np.zeros(params.output_shape, dtype=np.float32)
+    s = params.stride
+    for cb in range(params.batch):
+        for cro in range(params.ro):
+            for cco in range(params.co):
+                for ckr in range(params.kr):
+                    for ckc in range(params.kc):
+                        for cno in range(params.no):
+                            for cni in range(params.ni):
+                                out[cb, cno, cro, cco] += (
+                                    xp[cb, cni, s * cro + ckr, s * cco + ckc]
+                                    * w[cno, cni, ckr, ckc]
+                                )
+    return out

@@ -1,0 +1,76 @@
+"""The matrix-multiplication operator: seed + schedule space.
+
+GEMM "is naturally suitable to be tensorized into GEMM micro-kernels in
+the form of three nested loops" (Sec. 3); its schedule space covers the
+tile factors of all three dimensions, the loop order, the main-memory
+layouts of A and B, the SPM layouts, and the vectorization dimension.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..dsl.compute import ComputeDef
+from ..dsl.schedule import ScheduleSpace
+from ..errors import WorkloadError
+
+
+def make_compute(m: int, n: int, k: int) -> ComputeDef:
+    """Schedule seed of ``C[M, N] = A[M, K] @ B[K, N]``."""
+    if min(m, n, k) <= 0:
+        raise WorkloadError(f"non-positive GEMM shape ({m}, {n}, {k})")
+    cd = ComputeDef(f"gemm_{m}x{n}x{k}")
+    cd.axis("M", m)
+    cd.axis("N", n)
+    cd.axis("K", k, reduction=True)
+    cd.tensor("A", ["M", "K"], "input")
+    cd.tensor("B", ["K", "N"], "input")
+    cd.tensor("C", ["M", "N"], "output")
+    cd.define_gemm("C", "A", "B", m="M", n=["N"], k="K")
+    return cd
+
+
+def tile_candidates(extent: int, *, quick: bool = False) -> List[int]:
+    """Tile factors for one GEMM dimension.
+
+    The full set spans the SPM-feasible range; ``quick`` keeps a spread
+    of three for smoke-level spaces.
+    """
+    full = [f for f in (32, 64, 96, 128, 192, 256, 384, 512) if f <= extent]
+    if not full:
+        full = [extent]
+    if extent not in full and extent <= 512:
+        full.append(extent)
+    if quick:
+        # the large-tile end is where the optima live; keep it
+        return sorted(set(full[-4:]))
+    return sorted(set(full))
+
+
+def make_space(
+    compute: ComputeDef,
+    *,
+    quick: bool = False,
+    layouts: bool = True,
+    vectorization: bool = True,
+) -> ScheduleSpace:
+    """The GEMM schedule space.
+
+    ``layouts=False``/``vectorization=False`` freeze those decision
+    axes (used by the ablation benchmarks to isolate each
+    transformation's contribution).
+    """
+    m = compute.axes["M"].extent
+    n = compute.axes["N"].extent
+    k = compute.axes["K"].extent
+    sp = ScheduleSpace(compute)
+    sp.split("M", tile_candidates(m, quick=quick))
+    sp.split("N", tile_candidates(n, quick=quick))
+    sp.split("K", tile_candidates(k, quick=quick))
+    sp.reorder([("M", "N", "K"), ("N", "M", "K")])
+    if vectorization:
+        sp.vectorize()
+    if layouts:
+        sp.spm_layout("a")
+        sp.spm_layout("b")
+    return sp

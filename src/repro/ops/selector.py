@@ -1,0 +1,44 @@
+"""Per-shape convolution method selection.
+
+swATOP "dynamically picks the optimal tensorized primitives according
+to parameters" (Sec. 5.1.1): for a given layer, the framework chooses
+among the three decompositions.  The paper's policy (Fig. 8
+discussion): implicit conv is the workhorse; Winograd wins for 3x3
+kernels with enough tiles; explicit GEMM is the fallback "for cases
+where the other two methods cannot be applied".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import WorkloadError
+from . import conv_explicit, conv_implicit, conv_winograd
+from .conv_common import ConvParams
+
+METHODS = ("implicit", "winograd", "explicit")
+
+
+def applicable_methods(params: ConvParams) -> List[str]:
+    out = []
+    if conv_implicit.applicable(params):
+        out.append("implicit")
+    if conv_winograd.applicable(params):
+        out.append("winograd")
+    if conv_explicit.applicable(params):
+        out.append("explicit")
+    return out
+
+
+def select_method(params: ConvParams) -> str:
+    """The paper's preference order for one layer."""
+    methods = applicable_methods(params)
+    if not methods:
+        raise WorkloadError(
+            f"no tensorized method applies to {params.describe()}"
+        )
+    if "winograd" in methods and params.ro >= 4 and params.co >= 4:
+        return "winograd"
+    if "implicit" in methods:
+        return "implicit"
+    return methods[0]

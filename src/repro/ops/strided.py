@@ -1,0 +1,131 @@
+"""Strided convolution via phase decomposition.
+
+The tensorized templates (Alg. 2's shifted dims) require unit stride,
+so strided layers (ResNet downsamples, YOLO's stem) would otherwise
+fall off the fast path.  The standard remedy — used by real SW26010
+libraries and reproduced here — decomposes a stride-``s`` convolution
+into ``s x s`` unit-stride convolutions over *phase-subsampled* inputs:
+
+    out[b, o, i, j] = sum_{r, c} x[b, :, s*i + r, s*j + c] * w[o, :, r, c]
+
+writing ``r = s*a + pr`` and ``c = s*c' + pc`` turns each (pr, pc)
+phase into a unit-stride convolution of the subsampled input
+``x[:, :, pr::s, pc::s]`` with the subsampled kernel
+``w[:, :, pr::s, pc::s]``, and the phase outputs simply sum.  Every
+phase then flows through the ordinary tuned implicit/explicit pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .conv_common import ConvParams, pad_input
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One (pr, pc) phase of the decomposition."""
+
+    pr: int
+    pc: int
+    params: ConvParams  # the unit-stride sub-problem
+
+
+def decompose(params: ConvParams) -> List[Phase]:
+    """Split a strided convolution into unit-stride phase convolutions.
+
+    Returns one :class:`Phase` per (pr, pc) with a non-empty subsampled
+    kernel.  Each phase's params describe the *pre-padded, subsampled*
+    input (``pad == 0``), so callers feed it
+    :func:`phase_input` / :func:`phase_weight` slices directly.
+    """
+    s = params.stride
+    if s == 1:
+        raise WorkloadError("decompose() is for strided convolutions")
+    phases: List[Phase] = []
+    for pr in range(s):
+        kr_p = _ceil_div(params.kr - pr, s)
+        if kr_p <= 0:
+            continue
+        for pc in range(s):
+            kc_p = _ceil_div(params.kc - pc, s)
+            if kc_p <= 0:
+                continue
+            # the unit-stride sub-problem must produce *exactly* the
+            # parent's output grid: its input window is pinned to
+            # ro + kr_p - 1 rows (the subsample is cropped or
+            # zero-grown to fit; rows beyond the window never feed an
+            # output)
+            sub = ConvParams(
+                batch=params.batch,
+                ni=params.ni,
+                no=params.no,
+                ri=params.ro + kr_p - 1,
+                ci=params.co + kc_p - 1,
+                kr=kr_p,
+                kc=kc_p,
+                pad=0,
+                stride=1,
+            )
+            phases.append(Phase(pr=pr, pc=pc, params=sub))
+    if not phases:
+        raise WorkloadError(
+            f"degenerate decomposition for {params.describe()}"
+        )
+    return phases
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def phase_input(x: np.ndarray, params: ConvParams, phase: Phase) -> np.ndarray:
+    """The pre-padded, (pr, pc)-subsampled input of one phase, grown
+    with zeros to the phase params' expected extents if the subsample
+    falls short (happens when the parent output grid overruns)."""
+    xp = pad_input(np.asarray(x, np.float32), params)
+    sub = xp[:, :, phase.pr :: params.stride, phase.pc :: params.stride]
+    want = phase.params.input_shape
+    if sub.shape == want:
+        return np.ascontiguousarray(sub)
+    out = np.zeros(want, np.float32)
+    out[:, :, : sub.shape[2], : sub.shape[3]] = sub[
+        :, :, : want[2], : want[3]
+    ]
+    return out
+
+
+def phase_weight(w: np.ndarray, params: ConvParams, phase: Phase) -> np.ndarray:
+    """The (pr, pc)-subsampled kernel taps of one phase."""
+    w = np.asarray(w, np.float32)
+    if w.shape != params.weight_shape:
+        raise WorkloadError(
+            f"weight shape {w.shape} != {params.weight_shape}"
+        )
+    sub = w[:, :, phase.pr :: params.stride, phase.pc :: params.stride]
+    if sub.shape != phase.params.weight_shape:
+        raise WorkloadError(
+            f"phase weight {sub.shape} != {phase.params.weight_shape}"
+        )
+    return np.ascontiguousarray(sub)
+
+
+def reference_by_phases(
+    x: np.ndarray, w: np.ndarray, params: ConvParams
+) -> np.ndarray:
+    """Sum of per-phase unit-stride convolutions (a pure-NumPy check of
+    the decomposition identity; runners use the tuned pipeline)."""
+    from .direct import conv2d_reference
+
+    out = np.zeros(params.output_shape, np.float32)
+    for phase in decompose(params):
+        out += conv2d_reference(
+            phase_input(x, params, phase),
+            phase_weight(w, params, phase),
+            phase.params,
+        )
+    return out

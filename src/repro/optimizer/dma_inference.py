@@ -1,0 +1,244 @@
+"""DMA inference (Sec. 4.5.1).
+
+Users never write DMA in the DSL; the lowering emits CG-level tile
+transfers and this pass makes them *hardware-real*:
+
+* the per-CPE descriptor geometry (offset/block/stride per (rid, cid))
+  is derived from the tile access and the tensor's chosen main-memory
+  layout, exactly as the paper's DMA_CG -> DMA_CPE derivation;
+* DMA nodes are hoisted "as far as possible from gemm_op": a transfer
+  whose access does not depend on a loop's variable moves in front of
+  that loop, eliminating redundant copies (weights hoisted out of
+  spatial loops, input tiles out of output-channel loops, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..dsl.compute import ComputeDef
+from ..errors import IrError
+from ..ir.nodes import (
+    DmaCgNode,
+    DmaGeometry,
+    ForNode,
+    KernelNode,
+    Node,
+    SeqNode,
+    TileAccess,
+)
+from ..ir.visitors import transform, walk
+from ..machine.config import MachineConfig, default_config
+from ..machine.dma import MEM_TO_SPM
+
+
+@dataclass(frozen=True)
+class FlatTile:
+    """A tile access flattened against its tensor's storage layout.
+
+    ``chunk_elems`` is the contiguous innermost run; ``outer_lengths``/
+    ``outer_strides`` (in elements) generate the chunk start addresses.
+    """
+
+    chunk_elems: int
+    outer_lengths: Tuple[int, ...]
+    outer_strides: Tuple[int, ...]
+
+    @property
+    def n_chunks(self) -> int:
+        return math.prod(self.outer_lengths) if self.outer_lengths else 1
+
+    @property
+    def elems(self) -> int:
+        return self.n_chunks * self.chunk_elems
+
+    def chunk_offsets(self) -> np.ndarray:
+        """Element offsets of every chunk start (relative to the tile's
+        base element), fully vectorised."""
+        out = np.zeros(1, dtype=np.int64)
+        for length, stride in zip(self.outer_lengths, self.outer_strides):
+            steps = np.arange(length, dtype=np.int64) * stride
+            out = (out[:, None] + steps[None, :]).reshape(-1)
+        return out
+
+
+def flatten_access(
+    lengths: Tuple[int, ...], storage_shape: Tuple[int, ...]
+) -> FlatTile:
+    """Split a rectangular access into (outer dims) x (contiguous run).
+
+    The innermost run absorbs every trailing dimension the access
+    covers completely -- the rule that makes layout transformation
+    matter: a layout placing the tile's long dimension last yields few
+    large blocks, a bad one yields many small (transaction-wasting)
+    blocks.
+    """
+    if len(lengths) != len(storage_shape):
+        raise IrError(
+            f"access rank {len(lengths)} != storage rank {len(storage_shape)}"
+        )
+    strides = [1] * len(storage_shape)
+    for i in range(len(storage_shape) - 2, -1, -1):
+        strides[i] = strides[i + 1] * storage_shape[i + 1]
+
+    # absorb fully-covered trailing dims into the chunk: dim j joins the
+    # contiguous run (partially), and deeper dims only while they cover
+    # their full storage extent
+    j = len(lengths) - 1
+    chunk = lengths[j] if lengths else 1
+    while j > 0 and lengths[j] == storage_shape[j]:
+        j -= 1
+        chunk *= lengths[j]
+    outer_lengths = tuple(lengths[:j])
+    outer_strides = tuple(strides[:j])
+    return FlatTile(
+        chunk_elems=chunk,
+        outer_lengths=outer_lengths,
+        outer_strides=outer_strides,
+    )
+
+
+def geometry_of(
+    access: TileAccess,
+    storage_shape: Tuple[int, ...],
+    config: Optional[MachineConfig] = None,
+) -> DmaGeometry:
+    """Static DMA geometry of a tile access (descriptor metadata).
+
+    ``stride_bytes`` is the uniform inter-block gap when one exists
+    (single varying outer dimension); multi-level strided accesses are
+    issued as one descriptor per outer slice, reflected in
+    ``n_descriptors``.
+    """
+    cfg = config or default_config()
+    flat = flatten_access(access.lengths, storage_shape)
+    block_bytes = flat.chunk_elems * cfg.dtype_bytes
+    n_blocks = flat.n_chunks
+    if not flat.outer_lengths:
+        stride = 0
+        descs = 1
+    elif len(flat.outer_lengths) == 1:
+        stride = flat.outer_strides[0] * cfg.dtype_bytes - block_bytes
+        descs = 1
+    else:
+        # innermost outer dim is uniform; each higher-level slice needs
+        # its own descriptor
+        stride = flat.outer_strides[-1] * cfg.dtype_bytes - block_bytes
+        descs = math.prod(flat.outer_lengths[:-1])
+    if stride < 0:
+        raise IrError(
+            f"overlapping blocks in access of {access.buffer!r}: "
+            f"block {block_bytes}B exceeds its stride"
+        )
+    return DmaGeometry(
+        n_blocks=n_blocks,
+        block_bytes=block_bytes,
+        stride_bytes=stride,
+        n_descriptors=descs,
+    )
+
+
+def infer_dma(
+    kernel: KernelNode,
+    compute: ComputeDef,
+    config: Optional[MachineConfig] = None,
+    *,
+    hoist: bool = True,
+) -> KernelNode:
+    """Fill per-CPE geometry on every DMA node and hoist invariant
+    transfers outward.  Returns a new kernel.
+
+    ``hoist=False`` keeps every transfer at its gemm_op (the ablation
+    baseline for the "inject DMA nodes as far as possible from
+    gemm_op" redundant-copy elimination of Sec. 4.5.1).
+    """
+    cfg = config or default_config()
+    shapes = storage_shapes(kernel, compute)
+
+    def annotate(node: Node):
+        if isinstance(node, DmaCgNode) and node.geometry is None:
+            geo = geometry_of(node.access, shapes[node.access.buffer], cfg)
+            return DmaCgNode(
+                access=node.access,
+                spm=node.spm,
+                direction=node.direction,
+                reply=node.reply,
+                geometry=geo,
+                phase_var=node.phase_var,
+            )
+        return None
+
+    annotated = transform(kernel, annotate)
+    if not hoist:
+        assert isinstance(annotated, KernelNode)
+        return annotated
+    hoisted = transform(annotated, _hoist_out_of_loop)
+    assert isinstance(hoisted, KernelNode)
+    return hoisted
+
+
+def storage_shapes(
+    kernel: KernelNode, compute: ComputeDef
+) -> Dict[str, Tuple[int, ...]]:
+    """Main-memory storage shape of each tensor under the kernel's
+    chosen layout permutation."""
+    shapes: Dict[str, Tuple[int, ...]] = {}
+    for name in compute.tensors:
+        logical = compute.tensor_shape(name)
+        perm = kernel.tensor_layouts.get(name, tuple(range(len(logical))))
+        shapes[name] = tuple(logical[i] for i in perm)
+    return shapes
+
+
+# ---------------------------------------------------------------------------
+# hoisting
+# ---------------------------------------------------------------------------
+def _hoist_out_of_loop(node: Node) -> Optional[Node]:
+    """If every mem->SPM transfer into a buffer inside this loop is the
+    same loop-invariant access, replace them with a single transfer
+    before the loop."""
+    if not isinstance(node, ForNode):
+        return None
+    in_dmas: Dict[str, List[DmaCgNode]] = {}
+    bound_inside = {node.var}
+    for n in walk(node.body):
+        if isinstance(n, ForNode):
+            bound_inside.add(n.var)
+        if isinstance(n, DmaCgNode) and n.direction == MEM_TO_SPM:
+            in_dmas.setdefault(n.spm, []).append(n)
+
+    hoistable: List[DmaCgNode] = []
+    for spm, dmas in in_dmas.items():
+        first = dmas[0]
+        if first.access.variables() & bound_inside:
+            continue
+        if any(d.access != first.access for d in dmas):
+            continue
+        hoistable.append(first)
+    if not hoistable:
+        return None
+    names = {d.spm for d in hoistable}
+
+    def strip(n: Node) -> Optional[Node]:
+        if isinstance(n, SeqNode):
+            kept = [
+                c
+                for c in n.body
+                if not (
+                    isinstance(c, DmaCgNode)
+                    and c.direction == MEM_TO_SPM
+                    and c.spm in names
+                )
+            ]
+            if len(kept) != len(n.body):
+                return SeqNode(kept)
+        return None
+
+    new_body = transform(node.body, strip)
+    return SeqNode(
+        [*hoistable, ForNode(node.var, node.extent, new_body, node.pipelined)]
+    )

@@ -1,0 +1,144 @@
+"""The paper's DMA primitive pair (Sec. 4.1) plus the slow gld/gst path.
+
+``swDMA`` launches an asynchronous transfer described by (count,
+blockSize, strideSize, direction) and bumps a reply word on completion;
+``swDMAWait`` spins until the reply word reaches the expected count.
+The *when* of completion is owned by whoever holds the timeline (the
+executor); these wrappers package descriptor construction, functional
+data movement, and cost computation into one object so both the
+executor and the faithful tests use identical geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import DmaError
+from ..machine.config import MachineConfig, default_config
+from ..machine.dma import (
+    MEM_TO_SPM,
+    SPM_TO_MEM,
+    DmaCost,
+    DmaDescriptor,
+    DmaEngine,
+    ReplyWord,
+)
+from ..machine.memory import MainMemory
+
+
+@dataclass
+class DmaTransfer:
+    """A prepared (but not yet 'timed') DMA batch with its reply word."""
+
+    descriptors: List[DmaDescriptor]
+    reply: ReplyWord
+    cost: DmaCost
+    direction: str
+
+
+class DmaUnit:
+    """Issues swDMA/swDMAWait against one CG's memory."""
+
+    def __init__(
+        self,
+        memory: MainMemory,
+        config: Optional[MachineConfig] = None,
+    ) -> None:
+        self.config = config or default_config()
+        self.engine = DmaEngine(memory, self.config)
+
+    def sw_dma(
+        self,
+        mem_addr: int,
+        count: int,
+        block_size: int,
+        stride_size: int,
+        direction: str,
+        reply: Optional[ReplyWord] = None,
+        *,
+        cpe_id: int = 0,
+    ) -> DmaTransfer:
+        """Paper-faithful ``swDMA``: one CPE's descriptor.
+
+        ``count``/``block_size``/``stride_size`` are in bytes;
+        ``stride_size`` is the gap between blocks (0 = continuous mode).
+        """
+        desc = DmaDescriptor(
+            mem_addr=mem_addr,
+            size=count,
+            block=block_size if block_size > 0 else max(count, 1),
+            stride=stride_size,
+            direction=direction,
+            cpe_id=cpe_id,
+        )
+        return self.batch([desc], reply)
+
+    def batch(
+        self,
+        descriptors: Sequence[DmaDescriptor],
+        reply: Optional[ReplyWord] = None,
+    ) -> DmaTransfer:
+        """Package a batch of per-CPE descriptors (one DMA_CG worth)."""
+        descs = list(descriptors)
+        if not descs:
+            raise DmaError("empty DMA batch")
+        directions = {d.direction for d in descs}
+        if len(directions) != 1:
+            raise DmaError("mixed directions in one DMA batch")
+        return DmaTransfer(
+            descriptors=descs,
+            reply=reply or ReplyWord(),
+            cost=self.engine.cost(descs),
+            direction=directions.pop(),
+        )
+
+    # --- functional completion -------------------------------------------
+    def complete_gather(self, transfer: DmaTransfer) -> List[np.ndarray]:
+        """Perform a mem->SPM batch; returns each descriptor's payload
+        (float32) and bumps the reply word once per descriptor."""
+        if transfer.direction != MEM_TO_SPM:
+            raise DmaError("complete_gather needs a mem->spm transfer")
+        payloads = []
+        for desc in transfer.descriptors:
+            payloads.append(self.engine.gather(desc).view(np.float32).copy())
+            transfer.reply.bump()
+        return payloads
+
+    def complete_scatter(
+        self, transfer: DmaTransfer, payloads: Sequence[np.ndarray]
+    ) -> None:
+        """Perform an SPM->mem batch from per-descriptor payloads."""
+        if transfer.direction != SPM_TO_MEM:
+            raise DmaError("complete_scatter needs an spm->mem transfer")
+        if len(payloads) != len(transfer.descriptors):
+            raise DmaError(
+                f"{len(payloads)} payloads for {len(transfer.descriptors)} descriptors"
+            )
+        for desc, payload in zip(transfer.descriptors, payloads):
+            self.engine.scatter(
+                desc, np.ascontiguousarray(payload, dtype=np.float32).view(np.uint8)
+            )
+            transfer.reply.bump()
+
+    @staticmethod
+    def sw_dma_wait(reply: ReplyWord, reply_times: int) -> None:
+        """Paper-faithful ``swDMAWait``: raises if the transfers the
+        caller is waiting on were never completed (a programming error
+        the real hardware turns into a hang)."""
+        if not reply.satisfied(reply_times):
+            raise DmaError(
+                f"swDMAWait would hang: reply={reply.count} < {reply_times}"
+            )
+
+    # --- the slow path ------------------------------------------------------
+    def gld_cycles(self, nbytes: int) -> float:
+        """Global load/store timing: per-element latency-bound path at
+        1.48 GB/s -- two orders below DMA, which is why boundary code
+        that falls back to gld/gst is worth engineering away."""
+        if nbytes < 0:
+            raise DmaError("negative gld size")
+        cfg = self.config
+        return nbytes / (cfg.gld_bw / cfg.clock_hz)

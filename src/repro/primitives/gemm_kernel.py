@@ -1,0 +1,213 @@
+"""Tensorized GEMM primitives (``spm_gemm``).
+
+The hardware-dependent building block of swATOP (Sec. 4.1): a cluster
+GEMM ``C += alpha * A @ B`` over operands resident in SPM, distributed
+8x8 across the CPEs, exchanged through register communication, and
+computed with the 4x4 register-blocked micro-kernel.  Eight variants
+exist (Appendix 9): A/B each row- or column-major in SPM, vectorization
+along M or N.
+
+The primitive has two faces:
+
+* **functional** -- the exact product, computed with NumPy on the tile;
+* **timing** -- a structural cycle model assembled from machine
+  constants and the pipeline-scheduled micro-kernel: per-CPE block loop
+  (init + K x per-k-steady-state + drain + loop overhead), register
+  communication pattern switches, and a fixed kernel-call overhead.
+
+The autotuner's Eq. (2) is a *linear fit* to this surface (calibrated
+in :mod:`repro.autotuner.calibrate`); the residual between fit and
+structure -- ceil() quantisation, switch terms -- is the model error
+the paper measures in Fig. 9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import MachineError
+from ..machine.config import MachineConfig, default_config
+from .microkernel import (
+    ALL_VARIANTS,
+    BLOCK_SCALARS,
+    BLOCK_VECS,
+    COL_MAJOR,
+    ROW_MAJOR,
+    KernelVariant,
+    block_drain_cycles,
+    block_init_cycles,
+    cycles_per_k_step,
+)
+
+__all__ = [
+    "GemmCost",
+    "kernel_cycles",
+    "spm_gemm",
+    "gemm_flops",
+    "spm_tile_bytes",
+    "ALL_VARIANTS",
+    "KernelVariant",
+    "ROW_MAJOR",
+    "COL_MAJOR",
+]
+
+
+@dataclass(frozen=True)
+class GemmCost:
+    """Cycle breakdown of one ``spm_gemm`` invocation."""
+
+    total: float
+    inner: float      # K-loop steady-state cycles
+    init_drain: float
+    switches: float
+    call_overhead: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        return 1.0 - self.inner / self.total if self.total else 0.0
+
+
+def gemm_flops(m: int, n: int, k: int) -> int:
+    """Multiply-accumulate FLOPs of one GEMM."""
+    return 2 * m * n * k
+
+
+def spm_tile_bytes(
+    m: int, n: int, k: int, config: Optional[MachineConfig] = None
+) -> int:
+    """Per-CPE SPM bytes of the three distributed tiles of one GEMM
+    (A: MxK, B: KxN, C: MxN split 8x8 over the cluster, remainder
+    rounded up to the boundary CPEs' share)."""
+    cfg = config or default_config()
+    rows, cols = cfg.cluster_rows, cfg.cluster_cols
+
+    def per_cpe(r_ext: int, c_ext: int) -> int:
+        return math.ceil(r_ext / rows) * math.ceil(c_ext / cols) * cfg.dtype_bytes
+
+    return per_cpe(m, k) + per_cpe(k, n) + per_cpe(m, n)
+
+
+def kernel_cycles(
+    m: int,
+    n: int,
+    k: int,
+    variant: KernelVariant,
+    config: Optional[MachineConfig] = None,
+) -> GemmCost:
+    """Structural cycle count of one cluster ``spm_gemm`` call.
+
+    Geometry: each CPE owns a ceil(M/8) x ceil(N/8) tile of C and walks
+    it in register blocks of (4 vectors x 4 scalars); each block runs
+    the full K loop.  Register-communication producers rotate once per
+    K/8 panel (two pattern switches each: the A row burst and the B
+    column burst).
+    """
+    if m <= 0 or n <= 0 or k <= 0:
+        raise MachineError(f"non-positive GEMM shape ({m}, {n}, {k})")
+    cfg = config or default_config()
+    rows, cols = cfg.cluster_rows, cfg.cluster_cols
+    lanes = cfg.vector_lanes
+
+    mc = math.ceil(m / rows)
+    nc = math.ceil(n / cols)
+    if variant.vec_dim == "M":
+        vec_extent, sca_extent = mc, nc
+    else:
+        vec_extent, sca_extent = nc, mc
+    blocks = math.ceil(vec_extent / (BLOCK_VECS * lanes)) * math.ceil(
+        sca_extent / BLOCK_SCALARS
+    )
+
+    per_k = cycles_per_k_step(variant, cfg)
+    init = block_init_cycles(variant, cfg)
+    drain = block_drain_cycles(variant, cfg)
+
+    inner = blocks * k * per_k
+    init_drain = blocks * (init + drain + cfg.loop_overhead_cycles)
+    rotations = min(rows, k)  # one producer rotation per K/8 panel
+    switches = blocks * 2 * rotations * cfg.regcomm_switch_cycles
+    total = cfg.kernel_call_cycles + inner + init_drain + switches
+    return GemmCost(
+        total=total,
+        inner=inner,
+        init_drain=init_drain,
+        switches=switches,
+        call_overhead=cfg.kernel_call_cycles,
+    )
+
+
+def spm_gemm(
+    m: int,
+    n: int,
+    k: int,
+    alpha: float,
+    a: np.ndarray,
+    lda: int,
+    b: np.ndarray,
+    ldb: int,
+    beta: float,
+    c: np.ndarray,
+    ldc: int,
+    vec_dim: str,
+    *,
+    a_layout: str = COL_MAJOR,
+    b_layout: str = COL_MAJOR,
+    config: Optional[MachineConfig] = None,
+) -> GemmCost:
+    """The paper's ``spm_gemm`` interface (CBLAS-like + ``vec_dim``).
+
+    ``a``/``b``/``c`` are flat SPM arrays holding the tiles in the
+    declared layouts with the given leading dimensions; ``c`` is updated
+    in place (``C = alpha*A@B + beta*C``).  Returns the cycle cost.
+
+    Layout convention: ``COL_MAJOR`` A means element (i, j) lives at
+    ``j * lda + i`` (so ``lda >= m``); ``ROW_MAJOR`` A at ``i * lda + j``
+    (``lda >= k``); similarly for B (K x N) and C (always stored with the
+    vectorized dimension leading: COL_MAJOR when vec-M, ROW_MAJOR when
+    vec-N -- the layout-transformation rule of Sec. 4.3.2).
+    """
+    variant = KernelVariant(a_layout, b_layout, vec_dim)
+    cfg = config or default_config()
+
+    a_mat = _as_matrix(a, m, k, a_layout, lda, "A")
+    b_mat = _as_matrix(b, k, n, b_layout, ldb, "B")
+    c_layout = COL_MAJOR if vec_dim == "M" else ROW_MAJOR
+    c_mat = _as_matrix(c, m, n, c_layout, ldc, "C")
+
+    result = alpha * (a_mat @ b_mat) + beta * c_mat
+    _write_matrix(c, result, c_layout, ldc)
+    return kernel_cycles(m, n, k, variant, cfg)
+
+
+def _as_matrix(
+    flat: np.ndarray, rows: int, cols: int, layout: str, ld: int, name: str
+) -> np.ndarray:
+    """View a flat SPM array as the (rows x cols) logical matrix."""
+    flat = np.asarray(flat)
+    if flat.ndim != 1:
+        raise MachineError(f"SPM operand {name} must be flat, got {flat.ndim}-D")
+    if layout == COL_MAJOR:
+        if ld < rows:
+            raise MachineError(f"{name}: leading dim {ld} < rows {rows}")
+        need = ld * cols
+        if flat.size < need:
+            raise MachineError(f"{name}: SPM array too small ({flat.size} < {need})")
+        return flat[:need].reshape(cols, ld).T[:rows, :]
+    if ld < cols:
+        raise MachineError(f"{name}: leading dim {ld} < cols {cols}")
+    need = ld * rows
+    if flat.size < need:
+        raise MachineError(f"{name}: SPM array too small ({flat.size} < {need})")
+    return flat[:need].reshape(rows, ld)[:, :cols]
+
+
+def _write_matrix(flat: np.ndarray, values: np.ndarray, layout: str, ld: int) -> None:
+    rows, cols = values.shape
+    if layout == COL_MAJOR:
+        flat[: ld * cols].reshape(cols, ld).T[:rows, :] = values
+    else:
+        flat[: ld * rows].reshape(rows, ld)[:, :cols] = values

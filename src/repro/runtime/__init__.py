@@ -1,0 +1,18 @@
+"""Runtime integration layer: kernel cache, online-autotuning operator
+library, and whole-network execution (the paper's "offline compiler /
+online autotuning" deployment modes)."""
+
+from .cache import CacheError, KernelCache, TunedEntry
+from .library import AtopLibrary, LibraryStats
+from .network import LayerResult, NetworkResult, run_network
+
+__all__ = [
+    "KernelCache",
+    "TunedEntry",
+    "CacheError",
+    "AtopLibrary",
+    "LibraryStats",
+    "run_network",
+    "NetworkResult",
+    "LayerResult",
+]

@@ -1,0 +1,123 @@
+"""Persistent cache of tuned schedules.
+
+swATOP "can be used as an offline compiler by pre-generating
+near-optimal executable code, or be integrated into other frameworks to
+provide online autotuning" (Sec. 1).  The cache is what makes both
+modes practical: the first encounter of an operator configuration pays
+the (seconds-scale) model-based tuning cost; every later encounter
+reuses the stored winning strategy.  Entries can be persisted to a JSON
+file and shipped like a pre-tuned kernel library.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..dsl.schedule import ScheduleStrategy
+from ..errors import ReproError
+
+
+class CacheError(ReproError):
+    """Malformed cache file or key collision."""
+
+
+def _encode_value(value):
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_value(v) for v in value]}
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_decode_value(v) for v in value["__tuple__"])
+    return value
+
+
+@dataclass
+class TunedEntry:
+    """One cached tuning outcome."""
+
+    strategy: ScheduleStrategy
+    predicted_cycles: Optional[float] = None
+    measured_cycles: Optional[float] = None
+
+    def to_json(self) -> Dict:
+        return {
+            "decisions": {
+                k: _encode_value(v) for k, v in self.strategy.decisions.items()
+            },
+            "predicted_cycles": self.predicted_cycles,
+            "measured_cycles": self.measured_cycles,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "TunedEntry":
+        try:
+            decisions = {
+                k: _decode_value(v) for k, v in data["decisions"].items()
+            }
+        except (KeyError, TypeError) as exc:
+            raise CacheError(f"malformed cache entry: {data!r}") from exc
+        return cls(
+            strategy=ScheduleStrategy(decisions),
+            predicted_cycles=data.get("predicted_cycles"),
+            measured_cycles=data.get("measured_cycles"),
+        )
+
+
+class KernelCache:
+    """String-keyed store of tuned strategies with JSON persistence."""
+
+    VERSION = 1
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, TunedEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[TunedEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: TunedEntry) -> None:
+        self._entries[key] = entry
+
+    def keys(self):
+        return list(self._entries)
+
+    # --- persistence ------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": self.VERSION,
+            "entries": {k: e.to_json() for k, e in self._entries.items()},
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "KernelCache":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CacheError(f"cannot read kernel cache {path}: {exc}") from exc
+        if payload.get("version") != cls.VERSION:
+            raise CacheError(
+                f"kernel cache version {payload.get('version')!r} "
+                f"!= {cls.VERSION}"
+            )
+        cache = cls()
+        for key, data in payload.get("entries", {}).items():
+            cache._entries[key] = TunedEntry.from_json(data)
+        return cache

@@ -1,0 +1,186 @@
+"""The online-autotuning operator library.
+
+A swDNN-shaped façade over the whole stack: call
+:meth:`AtopLibrary.conv2d` / :meth:`AtopLibrary.gemm` like a DNN
+library and get exact results plus simulated timing.  The first call
+for a new configuration tunes it (the paper's "online autotuning"
+integration mode); later calls hit the kernel cache.  A warmed cache
+can be saved and shipped (the "offline compiler" mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..harness.runner import (
+    CONV_RUNNERS,
+    OperatorRun,
+    compile_strategy,
+    run_gemm,
+    shard_conv,
+    _shard_input,
+)
+from ..machine.config import MachineConfig, default_config
+from ..ops import select_method
+from ..ops.conv_common import ConvParams
+from ..ops.gemm import make_compute as gemm_compute
+from ..ops.gemm import make_space as gemm_space
+from .cache import KernelCache, TunedEntry
+
+
+@dataclass
+class LibraryStats:
+    tuned: int = 0
+    cache_hits: int = 0
+    simulated_cycles: float = 0.0
+
+
+class AtopLibrary:
+    """Tuned-operator library with a persistent kernel cache."""
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        *,
+        quick: bool = True,
+        cache_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.config = config or default_config()
+        self.quick = quick
+        self.cache_path = Path(cache_path) if cache_path else None
+        if self.cache_path and self.cache_path.exists():
+            self.cache = KernelCache.load(self.cache_path)
+        else:
+            self.cache = KernelCache()
+        self.stats = LibraryStats()
+
+    # --- keys ------------------------------------------------------------
+    @staticmethod
+    def conv_key(method: str, params: ConvParams) -> str:
+        return f"conv:{method}:{params.describe()}"
+
+    @staticmethod
+    def gemm_key(m: int, n: int, k: int) -> str:
+        return f"gemm:{m}x{n}x{k}"
+
+    # --- operators ----------------------------------------------------------
+    def conv2d(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        params: ConvParams,
+        *,
+        method: Optional[str] = None,
+    ) -> OperatorRun:
+        """Tuned convolution; method auto-selected per the paper's
+        policy unless forced."""
+        if params.stride > 1:
+            return self._conv2d_strided(x, w, params, method=method)
+        method = method or select_method(params)
+        if method not in CONV_RUNNERS:
+            raise WorkloadError(f"unknown conv method {method!r}")
+        key = self.conv_key(method, params)
+        entry = self.cache.get(key)
+        if entry is None:
+            run = CONV_RUNNERS[method](
+                params, x, w, library="swatop",
+                quick=self.quick, config=self.config,
+            )
+            assert run.tuning is not None
+            self.cache.put(
+                key,
+                TunedEntry(
+                    strategy=run.tuning.best.candidate.strategy,
+                    predicted_cycles=run.tuning.best.predicted_cycles,
+                    measured_cycles=run.cycles,
+                ),
+            )
+            self.stats.tuned += 1
+            self._autosave()
+        else:
+            self.stats.cache_hits += 1
+            run = self._run_cached_conv(method, params, x, w, entry)
+        self.stats.simulated_cycles += run.cycles
+        return run
+
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> OperatorRun:
+        m, k = a.shape
+        n = b.shape[1]
+        key = self.gemm_key(m, n, k)
+        entry = self.cache.get(key)
+        if entry is None:
+            run = run_gemm(
+                a, b, library="swatop", quick=self.quick, config=self.config
+            )
+            assert run.tuning is not None
+            self.cache.put(
+                key,
+                TunedEntry(
+                    strategy=run.tuning.best.candidate.strategy,
+                    measured_cycles=run.cycles,
+                ),
+            )
+            self.stats.tuned += 1
+            self._autosave()
+        else:
+            self.stats.cache_hits += 1
+            compute = gemm_compute(m, n, k)
+            ck = compile_strategy(compute, entry.strategy, self.config)
+            res = ck.run({"A": np.asarray(a, np.float32),
+                          "B": np.asarray(b, np.float32)})
+            run = OperatorRun(report=res.report, output=res.outputs["C"])
+        self.stats.simulated_cycles += run.cycles
+        return run
+
+    def _conv2d_strided(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        params: ConvParams,
+        *,
+        method: Optional[str] = None,
+    ) -> OperatorRun:
+        """Strided convolutions go through the phase decomposition
+        (:mod:`repro.ops.strided`); each unit-stride phase hits the
+        ordinary tuned path.  Implicit needs enough input channels."""
+        from ..harness.runner import run_conv_strided
+        from ..ops.conv_implicit import MIN_NI
+
+        method = method or ("implicit" if params.ni >= MIN_NI else "explicit")
+        run = run_conv_strided(
+            params, x, w, library="swatop", method=method,
+            quick=self.quick, config=self.config,
+        )
+        self.stats.tuned += 1
+        self.stats.simulated_cycles += run.cycles
+        return run
+
+    # --- internals -----------------------------------------------------------
+    def _run_cached_conv(
+        self,
+        method: str,
+        params: ConvParams,
+        x: np.ndarray,
+        w: np.ndarray,
+        entry: TunedEntry,
+    ) -> OperatorRun:
+        """Re-run a cached strategy without re-tuning: the runner
+        accepts an injected strategy (what an offline-compiled library
+        does at load time)."""
+        runner = CONV_RUNNERS[method]
+        return runner(
+            params, x, w, library="swatop", config=self.config,
+            strategy=entry.strategy,
+        )
+
+    def _autosave(self) -> None:
+        if self.cache_path is not None:
+            self.cache.save(self.cache_path)
+
+    def save_cache(self, path: Union[str, Path]) -> None:
+        self.cache.save(path)

@@ -1,0 +1,28 @@
+"""Scheduler: schedule-space traversal and strategy lowering (Sec. 4.3)."""
+
+from .enumerate import Candidate, EnumerationStats, enumerate_candidates, iter_candidates
+from .lower import LoweringOptions, axis_of_dim, lower_strategy
+from .transforms import (
+    SplitResult,
+    fuse_extents,
+    fuse_shared_input_gemms,
+    perfect_nest_depth,
+    reorder_axes,
+    split_extent,
+)
+
+__all__ = [
+    "Candidate",
+    "EnumerationStats",
+    "enumerate_candidates",
+    "iter_candidates",
+    "LoweringOptions",
+    "lower_strategy",
+    "axis_of_dim",
+    "SplitResult",
+    "split_extent",
+    "reorder_axes",
+    "fuse_extents",
+    "fuse_shared_input_gemms",
+    "perfect_nest_depth",
+]

@@ -1,0 +1,165 @@
+"""Loop transformations (Sec. 4.3.1): split, reorder, fuse.
+
+The lowering in :mod:`repro.scheduler.lower` applies split/reorder
+implicitly while building the nest; this module provides the
+transformations as standalone, testable operations -- including the
+GEMM-enlarging *fusion* rule the paper highlights ("if n independent
+matrix multiplications share the same input, they can be combined into
+one larger matrix multiplication with an output n times larger").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import ScheduleError
+from ..ir.nodes import ForNode, GemmOpNode, Node, SeqNode
+from ..ir.visitors import transform
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """Outcome of splitting an extent by a factor."""
+
+    factor: int
+    full_trips: int
+    tail: int
+
+    @property
+    def trips(self) -> int:
+        return self.full_trips + (1 if self.tail else 0)
+
+    @property
+    def has_boundary(self) -> bool:
+        return self.tail != 0
+
+
+def split_extent(extent: int, factor: int) -> SplitResult:
+    """Split a loop of ``extent`` iterations into outer x inner(factor).
+
+    A non-dividing factor leaves a boundary tail -- the situation the
+    boundary-processing machinery (Sec. 4.5.3) exists for.
+    """
+    if extent <= 0:
+        raise ScheduleError(f"cannot split non-positive extent {extent}")
+    if not (1 <= factor <= extent):
+        raise ScheduleError(f"split factor {factor} outside [1, {extent}]")
+    full, tail = divmod(extent, factor)
+    return SplitResult(factor=factor, full_trips=full, tail=tail)
+
+
+def reorder_axes(order: Tuple[str, ...], axes: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Validate and return a reordering of ``axes`` (Reorder)."""
+    if sorted(order) != sorted(axes):
+        raise ScheduleError(f"{order} is not a permutation of {axes}")
+    return tuple(order)
+
+
+def fuse_extents(outer: int, inner: int) -> int:
+    """Fuse two adjacent loops into one (the reverse of Split)."""
+    if outer <= 0 or inner <= 0:
+        raise ScheduleError("fused extents must be positive")
+    return outer * inner
+
+
+# ---------------------------------------------------------------------------
+# IR-level GEMM batch fusion
+# ---------------------------------------------------------------------------
+def fuse_shared_input_gemms(node: Node) -> Node:
+    """Merge runs of sibling ``gemm_op`` nodes that share the same A
+    operand (and SPM layout/variant) into one call with N enlarged.
+
+    This is legal when the B and C tiles of the fused calls are laid
+    out back-to-back in their SPM buffers -- which is how the lowering
+    emits batched sites (each call's maps/lens are identical and the
+    buffers are sized for the whole batch).  The transformation
+    preserves semantics trivially: ``A @ [B1 | B2]`` = ``[C1 | C2]``.
+    """
+
+    def rewrite(n: Node) -> Optional[Node]:
+        if not isinstance(n, SeqNode):
+            return None
+        out: List[Node] = []
+        run: List[GemmOpNode] = []
+
+        def flush() -> None:
+            if not run:
+                return
+            if len(run) == 1:
+                out.append(run[0])
+            else:
+                first = run[0]
+                total_n = sum(g.n for g in run)
+                out.append(
+                    GemmOpNode(
+                        m=first.m,
+                        n=total_n,
+                        k=first.k,
+                        a_spm=first.a_spm,
+                        b_spm=first.b_spm,
+                        c_spm=first.c_spm,
+                        a_map=first.a_map,
+                        b_map=first.b_map,
+                        c_map=first.c_map,
+                        variant=first.variant,
+                        accumulate=first.accumulate,
+                        a_lens=first.a_lens,
+                        b_lens=_scale_cols(first.b_lens, first.b_map, len(run)),
+                        c_lens=_scale_cols(first.c_lens, first.c_map, len(run)),
+                    )
+                )
+            run.clear()
+
+        for child in n.body:
+            if isinstance(child, GemmOpNode) and (
+                not run or _fusable(run[-1], child)
+            ):
+                run.append(child)
+            else:
+                flush()
+                out.append(child)
+        flush()
+        return SeqNode(out)
+
+    return transform(node, rewrite)
+
+
+def _fusable(a: GemmOpNode, b: GemmOpNode) -> bool:
+    return (
+        a.a_spm == b.a_spm
+        and a.b_spm == b.b_spm
+        and a.c_spm == b.c_spm
+        and a.m == b.m
+        and a.k == b.k
+        and a.variant == b.variant
+        and a.a_map == b.a_map
+        and a.b_map == b.b_map
+        and a.c_map == b.c_map
+        and a.accumulate == b.accumulate
+    )
+
+
+def _scale_cols(lens: Tuple[int, ...], mat_map, times: int) -> Tuple[int, ...]:
+    if not lens:
+        return lens
+    cols = mat_map[1]
+    out = list(lens)
+    if cols:
+        out[cols[0]] *= times  # batch extends the outermost fused col dim
+    return tuple(out)
+
+
+def perfect_nest_depth(node: Node) -> int:
+    """Depth of the perfectly-nested loop prefix (diagnostics)."""
+    depth = 0
+    cur = node
+    while True:
+        if isinstance(cur, SeqNode) and len(cur.body) == 1:
+            cur = cur.body[0]
+            continue
+        if isinstance(cur, ForNode):
+            depth += 1
+            cur = cur.body
+            continue
+        return depth

@@ -1,0 +1,37 @@
+"""Evaluation workloads: CNN layer tables and parameter sweeps."""
+
+from .networks import (
+    BATCH_SIZES,
+    NETWORKS,
+    RESNET18,
+    VGG16,
+    YOLO,
+    LayerSpec,
+    conv_layers,
+    network,
+)
+from .sweeps import (
+    GemmShape,
+    listing1_configs,
+    listing2_aligned,
+    listing2_shapes,
+    listing2_unaligned,
+    subsample,
+)
+
+__all__ = [
+    "LayerSpec",
+    "VGG16",
+    "RESNET18",
+    "YOLO",
+    "NETWORKS",
+    "BATCH_SIZES",
+    "network",
+    "conv_layers",
+    "GemmShape",
+    "listing1_configs",
+    "listing2_shapes",
+    "listing2_aligned",
+    "listing2_unaligned",
+    "subsample",
+]

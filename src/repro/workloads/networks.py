@@ -1,0 +1,142 @@
+"""Convolution layer tables of the paper's three CNNs (Sec. 5.1.1).
+
+Layer shapes are public (VGG16: Simonyan & Zisserman; ResNet: He et
+al.; YOLOv1: Redmon et al.).  As in the paper:
+
+* each network's *first* layer (Ni = 3) is excluded from implicit conv
+  ("its input channel is too small to be handled by implicit CONV");
+* only unit-stride layers feed the tensorized templates (strided
+  layers are served by the direct reference);
+* repeated identical layers are listed once with a ``count``.
+
+``scale`` shrinks spatial extents (dividing by the factor, floor 4) so
+the full evaluation fits a simulation budget while preserving every
+channel configuration -- the knob EXPERIMENTS.md documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import WorkloadError
+from ..ops.conv_common import ConvParams
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One conv layer of a network."""
+
+    name: str
+    ni: int
+    no: int
+    spatial: int     # input rows == cols
+    kernel: int = 3
+    pad: int = 1
+    stride: int = 1
+    count: int = 1   # how many times the layer repeats in the net
+
+    def params(self, batch: int, scale: int = 1) -> ConvParams:
+        if scale < 1:
+            raise WorkloadError("scale must be >= 1")
+        spatial = max(4, self.spatial // scale)
+        return ConvParams(
+            batch=batch,
+            ni=self.ni,
+            no=self.no,
+            ri=spatial,
+            ci=spatial,
+            kr=self.kernel,
+            kc=self.kernel,
+            pad=self.pad,
+            stride=self.stride,
+        )
+
+
+VGG16: Tuple[LayerSpec, ...] = (
+    LayerSpec("conv1_1", 3, 64, 224),
+    LayerSpec("conv1_2", 64, 64, 224),
+    LayerSpec("conv2_1", 64, 128, 112),
+    LayerSpec("conv2_2", 128, 128, 112),
+    LayerSpec("conv3_1", 128, 256, 56),
+    LayerSpec("conv3_2", 256, 256, 56, count=2),
+    LayerSpec("conv4_1", 256, 512, 28),
+    LayerSpec("conv4_2", 512, 512, 28, count=2),
+    LayerSpec("conv5", 512, 512, 14, count=3),
+)
+
+RESNET18: Tuple[LayerSpec, ...] = (
+    LayerSpec("conv1", 3, 64, 224, kernel=7, pad=3, stride=2),
+    LayerSpec("res2", 64, 64, 56, count=4),
+    LayerSpec("res3_down", 64, 128, 56, stride=2),
+    LayerSpec("res3", 128, 128, 28, count=3),
+    LayerSpec("res4_down", 128, 256, 28, stride=2),
+    LayerSpec("res4", 256, 256, 14, count=3),
+    LayerSpec("res5_down", 256, 512, 14, stride=2),
+    LayerSpec("res5", 512, 512, 7, count=3),
+)
+
+YOLO: Tuple[LayerSpec, ...] = (
+    LayerSpec("conv1", 3, 64, 448, kernel=7, pad=3, stride=2),
+    LayerSpec("conv2", 64, 192, 112),
+    LayerSpec("conv3_red", 192, 128, 56, kernel=1, pad=0),
+    LayerSpec("conv3", 128, 256, 56),
+    LayerSpec("conv3b_red", 256, 256, 56, kernel=1, pad=0),
+    LayerSpec("conv3b", 256, 512, 56),
+    LayerSpec("conv4_red", 512, 256, 28, kernel=1, pad=0, count=4),
+    LayerSpec("conv4", 256, 512, 28, count=4),
+    LayerSpec("conv4b_red", 512, 512, 28, kernel=1, pad=0),
+    LayerSpec("conv4b", 512, 1024, 28),
+    LayerSpec("conv5_red", 1024, 512, 14, kernel=1, pad=0, count=2),
+    LayerSpec("conv5", 512, 1024, 14, count=2),
+    LayerSpec("conv5b", 1024, 1024, 14),
+    LayerSpec("conv5c", 1024, 1024, 14, stride=2),
+    LayerSpec("conv6", 1024, 1024, 7, count=2),
+)
+
+NETWORKS: Dict[str, Tuple[LayerSpec, ...]] = {
+    "vgg16": VGG16,
+    "resnet": RESNET18,
+    "yolo": YOLO,
+}
+
+#: the paper's batch sizes: 1 for inference, 32/128 for training.
+BATCH_SIZES = (1, 32, 128)
+
+
+def network(name: str) -> Tuple[LayerSpec, ...]:
+    try:
+        return NETWORKS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown network {name!r}; choose from {sorted(NETWORKS)}"
+        ) from None
+
+
+def conv_layers(
+    name: str,
+    *,
+    method: str = "implicit",
+    unique: bool = True,
+) -> List[LayerSpec]:
+    """Layers of a network a tensorized method can serve.
+
+    ``implicit`` drops first layers (Ni < 8) and strided layers (as in
+    Fig. 5's caption); ``winograd`` additionally needs 3x3 kernels
+    (Fig. 6: "layers which Winograd CONV can be used"); ``explicit``
+    needs unit stride only.
+    """
+    layers = []
+    for spec in network(name):
+        if spec.stride != 1:
+            continue
+        if method == "implicit" and spec.ni < 8:
+            continue
+        if method == "winograd" and spec.kernel != 3:
+            continue
+        if method == "explicit" and spec.ni < 3:
+            continue
+        layers.append(spec)
+    if not unique:
+        layers = [s for s in layers for _ in range(s.count)]
+    return layers

@@ -1,0 +1,82 @@
+"""Tests for the swTVM-style code-generation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.swtvm import (
+    naive_k_step_cycles,
+    pick_tiles,
+    swtvm_gemm,
+    swtvm_tile_bytes,
+)
+from repro.errors import WorkloadError
+from repro.machine.config import default_config
+from repro.primitives.microkernel import ALL_VARIANTS, cycles_per_k_step
+
+
+class TestNaiveSchedule:
+    def test_slower_than_hand_pipelined(self):
+        """The compiler-style inner loop pays the load latency the hand
+        schedule hides -- the paper's 'lack of pipeline support'."""
+        hand_best = min(cycles_per_k_step(v) for v in ALL_VARIANTS)
+        assert naive_k_step_cycles() > hand_best
+
+    def test_at_least_vmad_bound(self):
+        assert naive_k_step_cycles() >= 16
+
+
+class TestFootprint:
+    def test_no_regcomm_footprint_is_larger(self):
+        """Without register communication each CPE holds whole panels:
+        ~8x the cooperative kernels' operand share."""
+        from repro.primitives.gemm_kernel import spm_tile_bytes
+
+        m = n = k = 128
+        assert swtvm_tile_bytes(m, n, k) > 4 * spm_tile_bytes(m, n, k)
+
+    def test_pick_tiles_fit(self):
+        cfg = default_config()
+        for shape in [(512, 512, 512), (64, 64, 64), (4096, 128, 256)]:
+            tm, tn, tk = pick_tiles(*shape)
+            assert swtvm_tile_bytes(tm, tn, tk) <= cfg.spm_bytes
+
+    def test_tiles_shrink_under_pressure(self):
+        """The inflated footprint forces sub-maximal blocking on big
+        problems (the cooperative kernels afford 256-wide tiles)."""
+        tm, tn, tk = pick_tiles(4096, 4096, 4096)
+        assert max(tm, tn, tk) < 256
+
+
+class TestSwtvmGemm:
+    def test_functional_correctness(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((96, 120)).astype(np.float32)
+        b = rng.standard_normal((120, 72)).astype(np.float32)
+        res = swtvm_gemm(a, b)
+        np.testing.assert_allclose(res.output, a @ b, rtol=1e-4, atol=1e-3)
+
+    def test_operand_validation(self):
+        with pytest.raises(WorkloadError):
+            swtvm_gemm(np.zeros((4, 4)), np.zeros((5, 4)))
+
+    def test_much_slower_than_swatop(self):
+        """The paper's qualitative claim: several-fold slower than the
+        manual/tuned kernels."""
+        from repro.harness.runner import run_gemm
+
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((256, 256)).astype(np.float32)
+        b = rng.standard_normal((256, 256)).astype(np.float32)
+        tv = swtvm_gemm(a, b)
+        sw = run_gemm(a, b, library="swatop", quick=True)
+        assert tv.report.cycles > 2.5 * sw.cycles
+
+    def test_fully_synchronous(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((128, 128)).astype(np.float32)
+        b = rng.standard_normal((128, 128)).astype(np.float32)
+        rep = swtvm_gemm(a, b).report
+        assert rep.cycles == pytest.approx(
+            rep.dma_cycles + rep.compute_cycles
+        )
+        assert rep.overlap_fraction == 0.0

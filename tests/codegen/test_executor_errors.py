@@ -1,0 +1,128 @@
+"""Error-path tests for the executor: every malformed kernel must fail
+loudly, never compute garbage silently."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.executor import CompiledKernel, _ExecState
+from repro.dsl import ScheduleSpace
+from repro.errors import CodegenError
+from repro.ir import (
+    AffineExpr,
+    AllocSpmNode,
+    DmaCgNode,
+    DmaGeometry,
+    GemmOpNode,
+    KernelNode,
+    SeqNode,
+    TileAccess,
+)
+from repro.machine.dma import MEM_TO_SPM
+from repro.primitives.microkernel import ALL_VARIANTS
+from repro.scheduler import Candidate, lower_strategy
+from repro.codegen import compile_candidate
+
+from ..scheduler.test_lower import gemm_cd
+
+
+def compiled(M=64, N=64, K=64):
+    cd = gemm_cd(M, N, K)
+    sp = ScheduleSpace(cd)
+    sp.split("M", [32]); sp.split("N", [32]); sp.split("K", [32])
+    strat = sp.strategy()
+    return cd, compile_candidate(Candidate(strat, lower_strategy(cd, strat), cd))
+
+
+class TestFeedValidation:
+    def test_unknown_tensor_in_dma_rejected_at_build(self):
+        cd, ck = compiled()
+        bad = DmaCgNode(
+            access=TileAccess("Ghost", ((AffineExpr(0), 4),)),
+            spm="spm_a",
+            direction=MEM_TO_SPM,
+            geometry=DmaGeometry(1, 16, 0, 1),
+        )
+        kernel = KernelNode(
+            "bad",
+            allocs=[AllocSpmNode("spm_a", (4,))],
+            body=SeqNode([bad]),
+        )
+        with pytest.raises(CodegenError):
+            CompiledKernel(kernel, cd)
+
+    def test_out_of_bounds_access_rejected_at_run(self):
+        """An access whose evaluated offset escapes the tensor must be
+        caught by the executor's bounds check."""
+        cd, ck = compiled()
+        from repro.ir import find_all
+        from repro.ir.visitors import transform
+        from repro.ir.nodes import Node
+
+        def corrupt(n):
+            if isinstance(n, DmaCgNode) and n.access.buffer == "A":
+                dims = ((AffineExpr(1000), 32), n.access.dims[1])
+                return DmaCgNode(
+                    TileAccess("A", dims), n.spm, n.direction,
+                    n.reply, n.geometry, n.phase_var,
+                )
+            return None
+
+        bad_kernel = transform(ck.kernel, corrupt)
+        bad = CompiledKernel(bad_kernel, cd)
+        rng = np.random.default_rng(0)
+        feeds = {
+            "A": rng.standard_normal((64, 64)).astype(np.float32),
+            "B": rng.standard_normal((64, 64)).astype(np.float32),
+        }
+        with pytest.raises(CodegenError):
+            bad.run(feeds)
+
+    def test_gemm_view_overflow_rejected(self):
+        cd, ck = compiled()
+        from repro.ir.visitors import transform
+
+        def inflate(n):
+            if isinstance(n, GemmOpNode):
+                return GemmOpNode(
+                    m=n.m * 8, n=n.n, k=n.k,
+                    a_spm=n.a_spm, b_spm=n.b_spm, c_spm=n.c_spm,
+                    a_map=n.a_map, b_map=n.b_map, c_map=n.c_map,
+                    variant=n.variant, accumulate=n.accumulate,
+                    a_lens=(n.a_lens[0] * 8, *n.a_lens[1:]),
+                    b_lens=n.b_lens, c_lens=n.c_lens,
+                )
+            return None
+
+        bad_kernel = transform(ck.kernel, inflate)
+        bad = CompiledKernel(bad_kernel, cd)
+        rng = np.random.default_rng(1)
+        feeds = {
+            "A": rng.standard_normal((64, 64)).astype(np.float32),
+            "B": rng.standard_normal((64, 64)).astype(np.float32),
+        }
+        with pytest.raises(CodegenError):
+            bad.run(feeds)
+
+    def test_gemm_dim_mismatch_rejected(self):
+        cd, ck = compiled()
+        from repro.ir.visitors import transform
+
+        def skew(n):
+            if isinstance(n, GemmOpNode):
+                return GemmOpNode(
+                    m=n.m, n=n.n, k=n.k + 1,  # declared K no longer matches
+                    a_spm=n.a_spm, b_spm=n.b_spm, c_spm=n.c_spm,
+                    a_map=n.a_map, b_map=n.b_map, c_map=n.c_map,
+                    variant=n.variant, accumulate=n.accumulate,
+                    a_lens=n.a_lens, b_lens=n.b_lens, c_lens=n.c_lens,
+                )
+            return None
+
+        bad = CompiledKernel(transform(ck.kernel, skew), cd)
+        rng = np.random.default_rng(2)
+        feeds = {
+            "A": rng.standard_normal((64, 64)).astype(np.float32),
+            "B": rng.standard_normal((64, 64)).astype(np.float32),
+        }
+        with pytest.raises(CodegenError):
+            bad.run(feeds)

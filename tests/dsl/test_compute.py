@@ -1,0 +1,163 @@
+"""Tests for the DSL schedule seed (ComputeDef)."""
+
+import pytest
+
+from repro.dsl.compute import ComputeDef, ShiftedDim
+from repro.errors import DslError
+
+
+def gemm_def(m=64, n=64, k=64):
+    cd = ComputeDef("gemm")
+    cd.axis("M", m)
+    cd.axis("N", n)
+    cd.axis("K", k, reduction=True)
+    cd.tensor("A", ["M", "K"], "input")
+    cd.tensor("B", ["K", "N"], "input")
+    cd.tensor("C", ["M", "N"], "output")
+    cd.define_gemm("C", "A", "B", m="M", n=["N"], k="K")
+    return cd
+
+
+def conv_def():
+    cd = ComputeDef("conv")
+    cd.axis("B", 2)
+    cd.axis("No", 8)
+    cd.axis("Ro", 6)
+    cd.axis("Co", 6)
+    cd.axis("Ni", 4, reduction=True)
+    cd.axis("Kr", 3, reduction=True)
+    cd.axis("Kc", 3, reduction=True)
+    cd.tensor(
+        "input", ["B", "Ni", ShiftedDim("Ro", "Kr"), ShiftedDim("Co", "Kc")], "input"
+    )
+    cd.tensor("weight", ["No", "Ni", "Kr", "Kc"], "weight")
+    cd.tensor("out", ["B", "No", "Ro", "Co"], "output")
+    cd.define_gemm("out", "weight", "input", m="No", n=["B", "Ro", "Co"], k="Ni")
+    return cd
+
+
+class TestAxes:
+    def test_axis_declaration(self):
+        cd = ComputeDef("op")
+        ax = cd.axis("M", 8)
+        assert ax.extent == 8 and ax.kind == "spatial"
+
+    def test_duplicate_axis(self):
+        cd = ComputeDef("op")
+        cd.axis("M", 8)
+        with pytest.raises(DslError):
+            cd.axis("M", 8)
+
+    def test_bad_extent(self):
+        cd = ComputeDef("op")
+        with pytest.raises(DslError):
+            cd.axis("M", 0)
+
+    def test_axis_partition(self):
+        cd = conv_def()
+        assert set(cd.reduction_axes()) == {"Ni", "Kr", "Kc"}
+        assert set(cd.spatial_axes()) == {"B", "No", "Ro", "Co"}
+
+
+class TestTensors:
+    def test_unknown_axis_rejected(self):
+        cd = ComputeDef("op")
+        cd.axis("M", 8)
+        with pytest.raises(DslError):
+            cd.tensor("T", ["M", "Q"], "input")
+
+    def test_bad_role(self):
+        cd = ComputeDef("op")
+        cd.axis("M", 8)
+        with pytest.raises(DslError):
+            cd.tensor("T", ["M"], "scratch")
+
+    def test_shifted_dim_extent(self):
+        cd = conv_def()
+        # Ri = Ro + Kr - 1 = 6 + 3 - 1 = 8
+        assert cd.tensor_shape("input") == (2, 4, 8, 8)
+
+    def test_shifted_dim_kind_checks(self):
+        cd = ComputeDef("op")
+        cd.axis("Ro", 4)
+        cd.axis("Kr", 3, reduction=True)
+        cd.axis("X", 4)
+        with pytest.raises(DslError):
+            cd.tensor("T", [ShiftedDim("Kr", "Kr")], "input")  # base not spatial
+        with pytest.raises(DslError):
+            cd.tensor("T", [ShiftedDim("Ro", "X")], "input")  # offset not reduction
+
+    def test_duplicate_tensor(self):
+        cd = gemm_def()
+        with pytest.raises(DslError):
+            cd.tensor("A", ["M"], "input")
+
+
+class TestGemmSpec:
+    def test_valid_definitions(self):
+        gemm_def().validate()
+        conv_def().validate()
+
+    def test_m_axis_must_be_spatial(self):
+        cd = ComputeDef("op")
+        cd.axis("M", 8)
+        cd.axis("K", 8, reduction=True)
+        cd.tensor("A", ["M", "K"], "input")
+        cd.tensor("C", ["M"], "output")
+        with pytest.raises(DslError):
+            cd.define_gemm("C", "A", "A", m="K", n=[], k="K")
+
+    def test_k_axis_must_be_reduction(self):
+        cd = ComputeDef("op")
+        cd.axis("M", 8)
+        cd.axis("N", 8)
+        cd.tensor("A", ["M", "N"], "input")
+        cd.tensor("C", ["M", "N"], "output")
+        with pytest.raises(DslError):
+            cd.define_gemm("C", "A", "A", m="M", n=["N"], k="N")
+
+    def test_double_definition(self):
+        cd = gemm_def()
+        with pytest.raises(DslError):
+            cd.define_gemm("C", "A", "B", m="M", n=["N"], k="K")
+
+    def test_validate_requires_gemm(self):
+        cd = ComputeDef("op")
+        with pytest.raises(DslError):
+            cd.validate()
+
+    def test_output_role_enforced(self):
+        cd = ComputeDef("op")
+        cd.axis("M", 8)
+        cd.axis("N", 8)
+        cd.axis("K", 8, reduction=True)
+        cd.tensor("A", ["M", "K"], "input")
+        cd.tensor("B", ["K", "N"], "input")
+        cd.tensor("C", ["M", "N"], "input")  # wrong role
+        cd.define_gemm("C", "A", "B", m="M", n=["N"], k="K")
+        with pytest.raises(DslError):
+            cd.validate()
+
+    def test_output_cannot_be_indexed_by_reduction(self):
+        cd = ComputeDef("op")
+        cd.axis("M", 8)
+        cd.axis("N", 8)
+        cd.axis("K", 8, reduction=True)
+        cd.tensor("A", ["M", "K"], "input")
+        cd.tensor("B", ["K", "N"], "input")
+        cd.tensor("C", ["M", "K"], "output")
+        cd.define_gemm("C", "A", "B", m="M", n=["N"], k="K")
+        with pytest.raises(DslError):
+            cd.validate()
+
+    def test_a_must_see_m_and_k(self):
+        cd = ComputeDef("op")
+        cd.axis("M", 8)
+        cd.axis("N", 8)
+        cd.axis("K", 8, reduction=True)
+        cd.tensor("A", ["M", "N"], "input")  # no K
+        cd.tensor("B", ["K", "N"], "input")
+        cd.tensor("C", ["M", "N"], "output")
+        cd.define_gemm("C", "A", "B", m="M", n=["N"], k="K")
+        with pytest.raises(DslError):
+            cd.validate()

@@ -1,0 +1,112 @@
+"""Tests for affine expressions and conditions."""
+
+import pytest
+
+from repro.errors import IrError
+from repro.ir.expr import AffineExpr, Cond
+
+
+class TestConstruction:
+    def test_of_int(self):
+        e = AffineExpr.of(5)
+        assert e.is_constant and e.const == 5
+
+    def test_of_str(self):
+        e = AffineExpr.of("i")
+        assert e.coeffs == {"i": 1}
+
+    def test_of_expr_passthrough(self):
+        e = AffineExpr.var("i")
+        assert AffineExpr.of(e) is e
+
+    def test_of_bad_type(self):
+        with pytest.raises(IrError):
+            AffineExpr.of(3.5)
+
+    def test_zero_coeffs_dropped(self):
+        e = AffineExpr(1, {"i": 0, "j": 2})
+        assert "i" not in e.coeffs
+        assert e.coeffs == {"j": 2}
+
+
+class TestAlgebra:
+    def test_add(self):
+        e = AffineExpr.var("i") * 3 + AffineExpr.var("j") + 7
+        assert e.const == 7
+        assert e.coeffs == {"i": 3, "j": 1}
+
+    def test_add_cancels(self):
+        e = AffineExpr.var("i") - AffineExpr.var("i")
+        assert e.is_constant and e.const == 0
+
+    def test_radd(self):
+        e = 5 + AffineExpr.var("i")
+        assert e.const == 5
+
+    def test_mul_scale(self):
+        e = (AffineExpr.var("i") + 2) * 4
+        assert e.const == 8 and e.coeffs["i"] == 4
+
+    def test_mul_non_int_rejected(self):
+        with pytest.raises(IrError):
+            AffineExpr.var("i") * 1.5  # noqa: B018
+
+    def test_immutability(self):
+        e = AffineExpr.var("i")
+        with pytest.raises(IrError):
+            e.coeffs["i"] = 5  # type: ignore[index]
+
+    def test_hashable(self):
+        assert hash(AffineExpr.var("i") + 1) == hash(AffineExpr(1, {"i": 1}))
+        assert AffineExpr.var("i") + 1 == AffineExpr(1, {"i": 1})
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        e = AffineExpr.var("i") * 3 + AffineExpr.var("j") + 1
+        assert e.evaluate({"i": 2, "j": 10}) == 17
+
+    def test_unbound_raises(self):
+        with pytest.raises(IrError):
+            AffineExpr.var("i").evaluate({})
+
+    def test_substitute_const(self):
+        e = AffineExpr.var("i") * 3 + AffineExpr.var("j")
+        s = e.substitute({"i": 2})
+        assert s.const == 6 and s.coeffs == {"j": 1}
+
+    def test_substitute_expr(self):
+        e = AffineExpr.var("i") * 2
+        s = e.substitute({"i": AffineExpr.var("k") + 1})
+        assert s.const == 2 and s.coeffs == {"k": 2}
+
+    def test_variables(self):
+        e = AffineExpr.var("i") + AffineExpr.var("j") * 2
+        assert e.variables == frozenset({"i", "j"})
+
+    def test_str(self):
+        assert str(AffineExpr.var("i") * 2 + 3) == "2*i + 3"
+        assert str(AffineExpr(0)) == "0"
+
+
+class TestCond:
+    def test_eval(self):
+        c = Cond(AffineExpr.var("i"), "==", 3)
+        assert c.evaluate({"i": 3})
+        assert not c.evaluate({"i": 2})
+
+    def test_all_ops(self):
+        e = AffineExpr.var("i")
+        env = {"i": 5}
+        assert Cond(e, "<", 6).evaluate(env)
+        assert Cond(e, "<=", 5).evaluate(env)
+        assert Cond(e, ">", 4).evaluate(env)
+        assert Cond(e, ">=", 5).evaluate(env)
+        assert Cond(e, "!=", 4).evaluate(env)
+
+    def test_bad_op(self):
+        with pytest.raises(IrError):
+            Cond(AffineExpr.var("i"), "~=", 0)
+
+    def test_str(self):
+        assert str(Cond(AffineExpr.var("i"), ">=", 2)) == "i >= 2"

@@ -1,0 +1,46 @@
+"""Printer coverage for the pass-introduced node kinds."""
+
+from repro.ir.expr import AffineExpr
+from repro.ir.nodes import (
+    ComputeOpNode,
+    DmaCgNode,
+    DmaWaitNode,
+    PrefetchNode,
+    TileAccess,
+)
+from repro.ir.printer import pretty
+from repro.machine.dma import MEM_TO_SPM
+
+
+def sample_dma(reply=None):
+    access = TileAccess("T", ((AffineExpr.var("i"), 4),))
+    return DmaCgNode(access, "spm_a", MEM_TO_SPM, reply=reply)
+
+
+class TestPrinterExtra:
+    def test_async_dma_shows_reply(self):
+        text = pretty(sample_dma(reply="r0"))
+        assert "dma_async" in text
+        assert "reply=r0" in text
+
+    def test_dma_wait(self):
+        assert "dma_wait r0 x2" in pretty(DmaWaitNode("r0", 2))
+
+    def test_prefetch_node(self):
+        node = PrefetchNode([sample_dma()], (("i", 4), ("j", 2)))
+        text = pretty(node)
+        assert "prefetch_next over (i, j)" in text
+        assert "nested if-then-else" in text
+
+    def test_compute_op(self):
+        text = pretty(ComputeOpNode("winograd_input_xform", 123.4, flops=99))
+        assert "compute_op winograd_input_xform" in text
+        assert "flops=99" in text
+
+    def test_unknown_node_fallback(self):
+        from repro.ir.nodes import Node
+
+        class Weird(Node):
+            pass
+
+        assert "<Weird>" in pretty(Weird())

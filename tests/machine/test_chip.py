@@ -1,0 +1,67 @@
+"""Tests for chip-level sharding and the NoC model."""
+
+import pytest
+
+from repro.machine.chip import Noc, Shard, run_sharded, shard_extent
+from repro.machine.config import default_config
+from repro.machine.trace import SimReport
+
+
+class TestSharding:
+    def test_even_split(self):
+        shards = shard_extent(128)
+        assert [s.length for s in shards] == [32, 32, 32, 32]
+        assert [s.start for s in shards] == [0, 32, 64, 96]
+
+    def test_remainder_to_leading_cgs(self):
+        shards = shard_extent(10)
+        assert [s.length for s in shards] == [3, 3, 2, 2]
+
+    def test_batch_one_uses_single_cg(self):
+        shards = shard_extent(1)
+        assert [s.length for s in shards] == [1, 0, 0, 0]
+
+    def test_run_sharded_makespan_is_max(self):
+        def run(shard: Shard) -> SimReport:
+            return SimReport(cycles=100.0 * shard.length, flops=shard.length)
+
+        report = run_sharded(10, run)
+        assert report.cycles == 300.0  # largest shard has 3 units
+        assert report.flops == 10
+        assert report.num_cgs_used == 4
+
+    def test_run_sharded_skips_empty(self):
+        calls = []
+
+        def run(shard: Shard) -> SimReport:
+            calls.append(shard.cg_id)
+            return SimReport(cycles=1.0)
+
+        report = run_sharded(2, run)
+        assert calls == [0, 1]
+        assert report.num_cgs_used == 2
+
+    def test_run_sharded_zero_extent(self):
+        report = run_sharded(0, lambda s: SimReport(cycles=1.0))
+        assert report.cycles == 0.0
+
+
+class TestNoc:
+    def test_latency_and_bandwidth(self):
+        noc = Noc()
+        small = noc.transfer_cycles(64)
+        big = noc.transfer_cycles(1 << 20)
+        assert small >= Noc.LATENCY_CYCLES
+        assert big > small
+
+    def test_hops_scale_latency(self):
+        noc = Noc()
+        assert noc.transfer_cycles(0, hops=3) == 0.0
+        assert noc.transfer_cycles(64, hops=3) > noc.transfer_cycles(64, hops=1)
+
+    def test_validation(self):
+        noc = Noc()
+        with pytest.raises(ValueError):
+            noc.transfer_cycles(-1)
+        with pytest.raises(ValueError):
+            noc.transfer_cycles(64, hops=0)

@@ -1,0 +1,135 @@
+"""Tests for the register-communication mesh."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RegCommError
+from repro.machine.config import default_config
+from repro.machine.regcomm import CommPattern, RegCommMesh, gemm_broadcast_plan
+
+
+def full_grid(value_fn):
+    cfg = default_config()
+    return [
+        [np.array([value_fn(r, c)], dtype=np.float32) for c in range(cfg.cluster_cols)]
+        for r in range(cfg.cluster_rows)
+    ]
+
+
+class TestPattern:
+    def test_bad_axis(self):
+        with pytest.raises(RegCommError):
+            CommPattern("diagonal", 0)
+
+    def test_bad_producer(self):
+        with pytest.raises(RegCommError):
+            CommPattern("row", -1)
+
+
+class TestFunctionalBroadcast:
+    def test_row_broadcast_distributes_producer_column(self):
+        mesh = RegCommMesh()
+        grid = full_grid(lambda r, c: 10 * r + c)
+        out = mesh.broadcast(grid, CommPattern("row", 3))
+        for r in range(8):
+            for c in range(8):
+                assert out[r][c][0] == 10 * r + 3
+
+    def test_col_broadcast_distributes_producer_row(self):
+        mesh = RegCommMesh()
+        grid = full_grid(lambda r, c: 10 * r + c)
+        out = mesh.broadcast(grid, CommPattern("col", 5))
+        for r in range(8):
+            for c in range(8):
+                assert out[r][c][0] == 10 * 5 + c
+
+    def test_received_values_are_copies(self):
+        mesh = RegCommMesh()
+        grid = full_grid(lambda r, c: 1.0)
+        out = mesh.broadcast(grid, CommPattern("row", 0))
+        out[0][1][0] = 99.0
+        assert grid[0][0][0] == 1.0
+
+    def test_missing_producer_data_rejected(self):
+        mesh = RegCommMesh()
+        grid = full_grid(lambda r, c: 0.0)
+        grid[2][3] = None
+        with pytest.raises(RegCommError):
+            mesh.broadcast(grid, CommPattern("row", 3))
+
+    def test_wrong_grid_shape_rejected(self):
+        mesh = RegCommMesh()
+        with pytest.raises(RegCommError):
+            mesh.broadcast([[np.zeros(1)] * 8] * 7, CommPattern("row", 0))
+
+    def test_producer_out_of_range(self):
+        mesh = RegCommMesh()
+        grid = full_grid(lambda r, c: 0.0)
+        with pytest.raises(RegCommError):
+            mesh.broadcast(grid, CommPattern("row", 8))
+        with pytest.raises(RegCommError):
+            mesh.broadcast(grid, CommPattern("col", 8))
+
+
+class TestTiming:
+    def test_first_burst_pays_switch_and_latency(self):
+        cfg = default_config()
+        mesh = RegCommMesh()
+        cycles = mesh.burst_cycles(32, CommPattern("row", 0))
+        expected = (
+            32 / cfg.regcomm_bytes_per_cycle
+            + cfg.regcomm_switch_cycles
+            + cfg.regcomm_latency_cycles
+        )
+        assert cycles == pytest.approx(expected)
+
+    def test_repeated_pattern_is_pipelined(self):
+        cfg = default_config()
+        mesh = RegCommMesh()
+        mesh.burst_cycles(32, CommPattern("row", 0))
+        cycles = mesh.burst_cycles(32, CommPattern("row", 0))
+        assert cycles == pytest.approx(32 / cfg.regcomm_bytes_per_cycle)
+        assert mesh.switches == 1
+
+    def test_pattern_change_pays_switch_again(self):
+        mesh = RegCommMesh()
+        mesh.burst_cycles(32, CommPattern("row", 0))
+        mesh.burst_cycles(32, CommPattern("col", 0))
+        mesh.burst_cycles(32, CommPattern("row", 1))
+        assert mesh.switches == 3
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(RegCommError):
+            RegCommMesh().burst_cycles(-1, CommPattern("row", 0))
+
+    def test_reset(self):
+        mesh = RegCommMesh()
+        mesh.burst_cycles(64, CommPattern("row", 0))
+        mesh.reset()
+        assert mesh.cycles_used == 0.0
+        assert mesh.bytes_moved == 0
+
+    def test_aggregate_bandwidth_magnitude(self):
+        """Steady-state aggregate bandwidth lands in the multi-hundred
+        GB/s range the paper cites (647 GB/s per cluster)."""
+        cfg = default_config()
+        mesh = RegCommMesh()
+        pattern = CommPattern("row", 0)
+        for _ in range(10_000):
+            mesh.burst_cycles(32, pattern)
+        bw = mesh.aggregate_bandwidth(mesh.cycles_used)
+        assert 2e11 < bw < 2e13  # hundreds of GB/s aggregated over 64 CPEs
+
+    def test_zero_elapsed_bandwidth(self):
+        assert RegCommMesh().aggregate_bandwidth(0.0) == 0.0
+
+
+class TestBroadcastPlan:
+    def test_plan_alternates_axes(self):
+        plan = gemm_broadcast_plan(4)
+        assert [p.axis for p in plan] == ["row", "col"] * 4
+
+    def test_plan_rotates_producers(self):
+        plan = gemm_broadcast_plan(10)
+        rows = [p.producer for p in plan if p.axis == "row"]
+        assert rows == [k % 8 for k in range(10)]

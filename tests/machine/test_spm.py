@@ -1,0 +1,105 @@
+"""Tests for the scratch-pad planner."""
+
+import pytest
+
+from repro.errors import SpmCapacityError
+from repro.machine.config import default_config
+from repro.machine.spm import (
+    SpmAllocator,
+    SpmBuffer,
+    partition_extent,
+    tile_bytes_per_cpe,
+)
+
+
+class TestPlanner:
+    def test_basic_plan_offsets_disjoint(self):
+        plan = SpmAllocator().plan(
+            [SpmBuffer("a", 1000), SpmBuffer("b", 2000), SpmBuffer("c", 500)]
+        )
+        bufs = sorted(plan.buffers.values(), key=lambda b: b.offset)
+        for prev, nxt in zip(bufs, bufs[1:]):
+            assert prev.offset + prev.reserved_bytes <= nxt.offset
+
+    def test_offsets_vector_aligned(self):
+        plan = SpmAllocator().plan([SpmBuffer("a", 3), SpmBuffer("b", 5)])
+        align = default_config().vector_bytes
+        for buf in plan.buffers.values():
+            assert buf.offset % align == 0
+
+    def test_double_buffer_doubles_footprint(self):
+        single = SpmAllocator().plan([SpmBuffer("a", 1024)])
+        double = SpmAllocator().plan([SpmBuffer("a", 1024, double_buffered=True)])
+        assert double.total_bytes == 2 * single.total_bytes
+
+    def test_capacity_enforced(self):
+        cap = default_config().spm_bytes
+        with pytest.raises(SpmCapacityError):
+            SpmAllocator().plan([SpmBuffer("a", cap + 1)])
+
+    def test_exactly_full_is_legal(self):
+        cap = default_config().spm_bytes
+        plan = SpmAllocator().plan([SpmBuffer("a", cap)])
+        assert plan.total_bytes == cap
+        assert plan.utilization == 1.0
+
+    def test_double_buffer_can_overflow(self):
+        cap = default_config().spm_bytes
+        with pytest.raises(SpmCapacityError):
+            SpmAllocator().plan([SpmBuffer("a", cap // 2 + 64, double_buffered=True)])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SpmCapacityError):
+            SpmAllocator().plan([SpmBuffer("a", 4), SpmBuffer("a", 4)])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(SpmCapacityError):
+            SpmAllocator().plan([SpmBuffer("a", 0)])
+
+    def test_fits_predicate(self):
+        alloc = SpmAllocator()
+        cap = default_config().spm_bytes
+        assert alloc.fits([SpmBuffer("a", cap // 2)])
+        assert not alloc.fits([SpmBuffer("a", cap * 2)])
+
+
+class TestTileFootprint:
+    def test_distributed_tile_divides_by_64(self):
+        cfg = default_config()
+        # 64x64 f32 tile = 16384 B total -> 256 B per CPE
+        assert tile_bytes_per_cpe(64 * 64) == 64 * 64 * 4 // cfg.cpes_per_cg
+
+    def test_distributed_rounds_up(self):
+        assert tile_bytes_per_cpe(1) == 1  # ceil(4/64) = 1
+
+    def test_replicated_tile(self):
+        assert tile_bytes_per_cpe(100, distributed=False) == 400
+
+
+class TestPartition:
+    def test_even_partition(self):
+        parts = partition_extent(64, 8)
+        assert parts == [(i * 8, 8) for i in range(8)]
+
+    def test_remainder_to_leading_chunks(self):
+        parts = partition_extent(10, 4)
+        assert parts == [(0, 3), (3, 3), (6, 2), (8, 2)]
+        assert sum(length for _, length in parts) == 10
+
+    def test_extent_smaller_than_parts(self):
+        parts = partition_extent(3, 8)
+        assert sum(length for _, length in parts) == 3
+        assert parts[3:] == [(3, 0)] * 5
+
+    def test_contiguity(self):
+        for extent in (1, 7, 63, 64, 65, 200):
+            parts = partition_extent(extent, 8)
+            pos = 0
+            for start, length in parts:
+                assert start == pos
+                pos += length
+            assert pos == extent
+
+    def test_bad_parts(self):
+        with pytest.raises(ValueError):
+            partition_extent(4, 0)

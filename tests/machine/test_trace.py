@@ -1,0 +1,131 @@
+"""Tests for traces and simulation reports."""
+
+import pytest
+
+from repro.machine.config import default_config
+from repro.machine.trace import SimReport, Trace, TraceEvent
+
+
+class TestTrace:
+    def test_add_and_iterate(self):
+        tr = Trace()
+        tr.add("dma", 0, 10, bytes_moved=100)
+        tr.add("gemm", 10, 30, flops=500)
+        assert len(tr) == 2
+        assert [e.kind for e in tr] == ["dma", "gemm"]
+
+    def test_filter_by_kind(self):
+        tr = Trace()
+        tr.add("dma", 0, 5)
+        tr.add("gemm", 5, 9)
+        tr.add("dma", 9, 12)
+        assert len(tr.events("dma")) == 2
+        assert tr.total_cycles("dma") == 8.0
+
+    def test_span(self):
+        tr = Trace()
+        assert tr.span() == 0.0
+        tr.add("dma", 5, 10)
+        tr.add("gemm", 8, 30)
+        assert tr.span() == 25.0
+
+    def test_event_cycles(self):
+        assert TraceEvent("dma", 3, 10).cycles == 7
+
+
+class TestSimReport:
+    def test_seconds_and_gflops(self):
+        cfg = default_config()
+        rep = SimReport(cycles=cfg.clock_hz, flops=int(1e12))  # 1 simulated second
+        assert rep.seconds == pytest.approx(1.0)
+        assert rep.gflops == pytest.approx(1000.0)
+
+    def test_efficiency_against_used_cgs(self):
+        cfg = default_config()
+        # one CG at exactly peak for 1000 cycles
+        flops = int(cfg.cg_peak_flops * cfg.cycles_to_seconds(1000))
+        rep = SimReport(cycles=1000, flops=flops, num_cgs_used=1)
+        assert rep.efficiency == pytest.approx(1.0, rel=1e-6)
+
+    def test_zero_cycle_report(self):
+        rep = SimReport(cycles=0.0)
+        assert rep.gflops == 0.0
+        assert rep.efficiency == 0.0
+
+    def test_speedup(self):
+        fast = SimReport(cycles=100.0)
+        slow = SimReport(cycles=250.0)
+        assert fast.speedup_over(slow) == 2.5
+        with pytest.raises(ZeroDivisionError):
+            SimReport(cycles=0.0).speedup_over(fast)
+
+    def test_overlap_fraction(self):
+        # 100 dma + 100 compute fully overlapped into 100 cycles
+        rep = SimReport(cycles=100.0, dma_cycles=100.0, compute_cycles=100.0)
+        assert rep.overlap_fraction == pytest.approx(0.5)
+        serial = SimReport(cycles=200.0, dma_cycles=100.0, compute_cycles=100.0)
+        assert serial.overlap_fraction == 0.0
+
+    def test_from_trace(self):
+        tr = Trace()
+        tr.add("dma", 0, 10, bytes_moved=100, waste_bytes=20)
+        tr.add("gemm", 10, 20, flops=1000)
+        rep = SimReport.from_trace(tr)
+        assert rep.cycles == 20.0
+        assert rep.dma_cycles == 10.0
+        assert rep.compute_cycles == 10.0
+        assert rep.bytes_moved == 100
+        assert rep.waste_bytes == 20
+        assert rep.flops == 1000
+
+    def test_from_trace_with_makespan(self):
+        tr = Trace()
+        tr.add("dma", 0, 10)
+        rep = SimReport.from_trace(tr, makespan=50.0)
+        assert rep.cycles == 50.0
+
+    def test_merge_parallel(self):
+        reps = [
+            SimReport(cycles=100, flops=10, dma_cycles=5),
+            SimReport(cycles=150, flops=20, dma_cycles=7),
+        ]
+        merged = SimReport.merge_parallel(reps)
+        assert merged.cycles == 150
+        assert merged.flops == 30
+        assert merged.dma_cycles == 12
+        assert merged.num_cgs_used == 2
+
+    def test_merge_serial(self):
+        reps = [SimReport(cycles=100, flops=10), SimReport(cycles=50, flops=5)]
+        merged = SimReport.merge_serial(reps)
+        assert merged.cycles == 150
+        assert merged.flops == 15
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SimReport.merge_parallel([])
+        with pytest.raises(ValueError):
+            SimReport.merge_serial([])
+
+
+class TestConfig:
+    def test_peak_flops_match_paper(self):
+        """4 CGs x 64 CPEs x 8 flops/cycle x 1.5 GHz ~ 3.07 TFLOPS,
+        the paper's 3.06 TFLOPS peak."""
+        cfg = default_config()
+        assert cfg.chip_peak_flops == pytest.approx(3.07e12, rel=0.01)
+
+    def test_cycle_second_roundtrip(self):
+        cfg = default_config()
+        assert cfg.seconds_to_cycles(cfg.cycles_to_seconds(12345)) == pytest.approx(
+            12345
+        )
+
+    def test_with_overrides_returns_new_config(self):
+        cfg = default_config()
+        fast = cfg.with_overrides(clock_hz=3.0e9)
+        assert fast.clock_hz == 3.0e9
+        assert cfg.clock_hz == 1.5e9
+
+    def test_vector_bytes(self):
+        assert default_config().vector_bytes == 16

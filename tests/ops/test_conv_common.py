@@ -1,0 +1,100 @@
+"""Tests for conv parameter handling and the direct reference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ops.conv_common import ConvParams, pad_input
+from repro.ops.direct import conv2d_loops, conv2d_reference
+
+
+class TestConvParams:
+    def test_output_shape_unit_stride(self):
+        p = ConvParams(batch=2, ni=3, no=4, ri=8, ci=8, kr=3, kc=3, pad=1)
+        assert p.ro == 8 and p.co == 8
+        assert p.output_shape == (2, 4, 8, 8)
+
+    def test_output_shape_no_pad(self):
+        p = ConvParams(batch=1, ni=1, no=1, ri=8, ci=8, kr=3, kc=3)
+        assert p.ro == 6
+
+    def test_strided(self):
+        p = ConvParams(batch=1, ni=1, no=1, ri=8, ci=8, kr=3, kc=3, pad=1, stride=2)
+        assert p.ro == 4
+
+    def test_flops(self):
+        p = ConvParams(batch=2, ni=3, no=4, ri=6, ci=6, kr=3, kc=3, pad=1)
+        assert p.flops == 2 * 2 * 4 * 6 * 6 * 3 * 3 * 3
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ConvParams(batch=0, ni=1, no=1, ri=4, ci=4)
+        with pytest.raises(WorkloadError):
+            ConvParams(batch=1, ni=1, no=1, ri=2, ci=2, kr=5, kc=5)
+        with pytest.raises(WorkloadError):
+            ConvParams(batch=1, ni=1, no=1, ri=4, ci=4, pad=-1)
+
+    def test_with_batch(self):
+        p = ConvParams(batch=2, ni=3, no=4, ri=6, ci=6, pad=1)
+        assert p.with_batch(32).batch == 32
+        assert p.batch == 2
+
+    def test_describe(self):
+        p = ConvParams(batch=2, ni=3, no=4, ri=6, ci=6, pad=1)
+        assert "Ni3" in p.describe()
+
+
+class TestPadInput:
+    def test_pad_shape_and_values(self):
+        p = ConvParams(batch=1, ni=2, no=1, ri=4, ci=4, pad=1)
+        x = np.ones(p.input_shape, np.float32)
+        xp = pad_input(x, p)
+        assert xp.shape == p.padded_input_shape
+        assert xp[0, 0, 0, 0] == 0.0
+        assert xp[0, 0, 1, 1] == 1.0
+
+    def test_no_pad_passthrough(self):
+        p = ConvParams(batch=1, ni=1, no=1, ri=4, ci=4)
+        x = np.random.default_rng(0).random(p.input_shape).astype(np.float32)
+        np.testing.assert_array_equal(pad_input(x, p), x)
+
+    def test_shape_mismatch(self):
+        p = ConvParams(batch=1, ni=1, no=1, ri=4, ci=4)
+        with pytest.raises(WorkloadError):
+            pad_input(np.zeros((1, 1, 5, 4), np.float32), p)
+
+
+class TestDirectReference:
+    def test_loops_match_reference_small(self):
+        p = ConvParams(batch=2, ni=3, no=2, ri=5, ci=5, kr=3, kc=3, pad=1)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(p.input_shape).astype(np.float32)
+        w = rng.standard_normal(p.weight_shape).astype(np.float32)
+        np.testing.assert_allclose(
+            conv2d_loops(x, w, p), conv2d_reference(x, w, p), rtol=1e-5, atol=1e-5
+        )
+
+    def test_strided_agreement(self):
+        p = ConvParams(batch=1, ni=2, no=2, ri=7, ci=7, kr=3, kc=3, pad=1, stride=2)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(p.input_shape).astype(np.float32)
+        w = rng.standard_normal(p.weight_shape).astype(np.float32)
+        np.testing.assert_allclose(
+            conv2d_loops(x, w, p), conv2d_reference(x, w, p), rtol=1e-5, atol=1e-5
+        )
+
+    def test_identity_kernel(self):
+        """A 1x1 identity filter reproduces the input channel."""
+        p = ConvParams(batch=1, ni=1, no=1, ri=4, ci=4, kr=1, kc=1)
+        x = np.random.default_rng(2).random(p.input_shape).astype(np.float32)
+        w = np.ones(p.weight_shape, np.float32)
+        np.testing.assert_allclose(conv2d_reference(x, w, p), x, rtol=1e-6)
+
+    def test_weight_shape_checked(self):
+        p = ConvParams(batch=1, ni=1, no=1, ri=4, ci=4, kr=3, kc=3, pad=1)
+        with pytest.raises(WorkloadError):
+            conv2d_reference(
+                np.zeros(p.input_shape, np.float32),
+                np.zeros((1, 1, 2, 2), np.float32),
+                p,
+            )

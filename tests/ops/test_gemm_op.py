@@ -1,0 +1,58 @@
+"""Tests for the GEMM operator definition."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ops.gemm import make_compute, make_space, tile_candidates
+
+
+class TestCompute:
+    def test_shapes(self):
+        cd = make_compute(128, 256, 64)
+        cd.validate()
+        assert cd.tensor_shape("A") == (128, 64)
+        assert cd.tensor_shape("B") == (64, 256)
+        assert cd.tensor_shape("C") == (128, 256)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            make_compute(0, 4, 4)
+
+
+class TestTileCandidates:
+    def test_within_extent(self):
+        for extent in (20, 100, 1000, 9000):
+            for quick in (True, False):
+                cands = tile_candidates(extent, quick=quick)
+                assert cands
+                assert all(c <= extent for c in cands)
+
+    def test_quick_keeps_large_end(self):
+        cands = tile_candidates(2048, quick=True)
+        assert max(cands) == 512
+
+    def test_small_extent_uses_extent(self):
+        assert tile_candidates(20) == [20]
+
+    def test_includes_exact_extent_when_small(self):
+        assert 200 in tile_candidates(200)
+
+
+class TestSpace:
+    def test_decisions_present(self):
+        cd = make_compute(512, 512, 512)
+        sp = make_space(cd)
+        keys = set(sp.decision_keys)
+        assert {"tile:M", "tile:N", "tile:K", "order", "vec_dim",
+                "spm_layout:a", "spm_layout:b"} <= keys
+
+    def test_ablation_flags(self):
+        cd = make_compute(512, 512, 512)
+        sp = make_space(cd, layouts=False, vectorization=False)
+        keys = set(sp.decision_keys)
+        assert "vec_dim" not in keys
+        assert "spm_layout:a" not in keys
+
+    def test_quick_space_smaller(self):
+        cd = make_compute(2048, 2048, 2048)
+        assert make_space(cd, quick=True).size() < make_space(cd).size()

@@ -1,0 +1,112 @@
+"""Tests for the F(2x2,3x3) / F(4x4,3x3) Winograd variants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.harness.runner import run_conv_winograd
+from repro.ops import conv_winograd as W
+from repro.ops.conv_common import ConvParams
+from repro.ops.direct import conv2d_reference
+
+
+def params(**kw):
+    d = dict(batch=2, ni=8, no=8, ri=12, ci=12, kr=3, kc=3, pad=1)
+    d.update(kw)
+    return ConvParams(**d)
+
+
+class TestVariantRegistry:
+    def test_lookup(self):
+        assert W.get_variant("f22") is W.F22
+        assert W.get_variant("f44") is W.F44
+        assert W.get_variant(None) is W.F22
+        assert W.get_variant(W.F44) is W.F44
+        with pytest.raises(WorkloadError):
+            W.get_variant("f88")
+
+    def test_geometry(self):
+        assert (W.F22.out_tile, W.F22.tile, W.F22.num_gemms) == (2, 4, 16)
+        assert (W.F44.out_tile, W.F44.tile, W.F44.num_gemms) == (4, 6, 36)
+
+    def test_backward_compatible_aliases(self):
+        assert W.NUM_GEMMS == 16 and W.TILE == 4 and W.OUT_TILE == 2
+
+
+class TestF44Math:
+    def test_single_tile_identity(self):
+        """A^T[(Gg)*(B^T d)]A == direct 4x4 correlation of a 6x6 tile."""
+        rng = np.random.default_rng(0)
+        d = rng.standard_normal((6, 6)).astype(np.float32)
+        g = rng.standard_normal((3, 3)).astype(np.float32)
+        u = W.F44.Gm @ g @ W.F44.Gm.T
+        v = W.F44.BT @ d @ W.F44.BT.T
+        y = W.F44.AT @ (u * v) @ W.F44.AT.T
+        direct = np.array(
+            [
+                [(d[i : i + 3, j : j + 3] * g).sum() for j in range(4)]
+                for i in range(4)
+            ]
+        )
+        np.testing.assert_allclose(y, direct, rtol=1e-3, atol=1e-3)
+
+    @pytest.mark.parametrize("variant", ["f22", "f44"])
+    def test_reference_matches_direct(self, variant):
+        p = params()
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(p.input_shape).astype(np.float32)
+        w = rng.standard_normal(p.weight_shape).astype(np.float32)
+        np.testing.assert_allclose(
+            W.winograd_reference(x, w, p, variant),
+            conv2d_reference(x, w, p),
+            rtol=5e-3,
+            atol=5e-2,  # F44's fractional transforms are fp32-looser
+        )
+
+    def test_tile_counts_differ(self):
+        p = params(ri=16, ci=16)
+        _, _, p22 = W.tile_counts(p, "f22")
+        _, _, p44 = W.tile_counts(p, "f44")
+        assert p22 == 4 * p44  # 2x2 output tiles vs 4x4
+
+    def test_f44_batches_36_gemms(self):
+        cd = W.make_compute(params(ni=16, no=16), "f44")
+        assert cd.axes["T"].extent == 36
+
+
+class TestVariantRunner:
+    @pytest.fixture
+    def case(self):
+        p = params(batch=4, ni=16, no=16, ri=16, ci=16)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(p.input_shape).astype(np.float32)
+        w = rng.standard_normal(p.weight_shape).astype(np.float32)
+        return p, x, w, conv2d_reference(x, w, p)
+
+    @pytest.mark.parametrize("variant", ["f22", "f44"])
+    def test_tuned_variants_correct(self, case, variant):
+        p, x, w, ref = case
+        run = run_conv_winograd(p, x, w, quick=True, variant=variant)
+        np.testing.assert_allclose(run.output, ref, rtol=5e-3, atol=5e-2)
+
+    def test_auto_picks_minimum(self, case):
+        p, x, w, ref = case
+        f22 = run_conv_winograd(p, x, w, quick=True, variant="f22")
+        f44 = run_conv_winograd(p, x, w, quick=True, variant="f44")
+        auto = run_conv_winograd(p, x, w, quick=True, variant="auto")
+        assert auto.cycles == min(f22.cycles, f44.cycles)
+        np.testing.assert_allclose(auto.output, ref, rtol=5e-3, atol=5e-2)
+
+    def test_auto_rejected_for_manual(self, case):
+        p, x, w, _ = case
+        with pytest.raises(WorkloadError):
+            run_conv_winograd(p, x, w, library="manual", variant="auto")
+
+    def test_f44_reduces_gemm_flops(self):
+        """F(4x4) does ~1.8x fewer GEMM multiplies than F(2x2)."""
+        p = params(ni=32, no=32, ri=24, ci=24, batch=1)
+        _, _, p22 = W.tile_counts(p, "f22")
+        _, _, p44 = W.tile_counts(p, "f44")
+        flops22 = 16 * p22
+        flops44 = 36 * p44
+        assert flops22 / flops44 == pytest.approx(16 / 9, rel=0.01)

@@ -1,0 +1,179 @@
+"""Tests for DMA inference: flattening, geometry, hoisting."""
+
+import pytest
+
+from repro.dsl import ScheduleSpace
+from repro.errors import IrError
+from repro.ir import AffineExpr, DmaCgNode, ForNode, SeqNode, TileAccess, find_all, walk
+from repro.machine.config import default_config
+from repro.machine.dma import MEM_TO_SPM
+from repro.optimizer.dma_inference import (
+    flatten_access,
+    geometry_of,
+    infer_dma,
+    storage_shapes,
+)
+from repro.scheduler import lower_strategy
+
+from ..scheduler.test_lower import conv_cd, gemm_cd
+
+
+class TestFlatten:
+    def test_partial_last_dim(self):
+        flat = flatten_access((8, 16), (64, 64))
+        assert flat.chunk_elems == 16
+        assert flat.outer_lengths == (8,)
+        assert flat.outer_strides == (64,)
+
+    def test_whole_tensor_is_one_chunk(self):
+        flat = flatten_access((16, 8), (16, 8))
+        assert flat.chunk_elems == 16 * 8
+        assert flat.outer_lengths == ()
+
+    def test_rank_mismatch(self):
+        with pytest.raises(IrError):
+            flatten_access((4,), (4, 4))
+
+    def test_chunk_offsets_cover_tile(self):
+        flat = flatten_access((3, 5, 7), (10, 20, 30))
+        offs = flat.chunk_offsets()
+        assert len(offs) == 3 * 5
+        # offsets follow row-major order of (dim0, dim1) with strides
+        assert offs[0] == 0
+        assert offs[1] == 30  # next dim1 step
+        assert offs[5] == 600  # next dim0 step (20*30)
+
+
+class TestFlattenPartialAbsorption:
+    def test_partial_dim_joins_contiguous_run(self):
+        """lengths (4, 8, 32) over shape (16, 8, 32): dims 1,2 fully
+        covered so dim0's 4 rows are one contiguous run of 4*8*32."""
+        flat = flatten_access((4, 8, 32), (16, 8, 32))
+        assert flat.chunk_elems == 4 * 8 * 32
+        assert flat.outer_lengths == ()
+
+    def test_gap_stops_absorption(self):
+        flat = flatten_access((4, 4, 32), (16, 8, 32))
+        assert flat.chunk_elems == 4 * 32
+        assert flat.outer_lengths == (4,)
+        assert flat.outer_strides == (8 * 32,)
+
+
+class TestGeometry:
+    def test_strided_tile(self):
+        acc = TileAccess("T", ((AffineExpr(0), 8), (AffineExpr(0), 16)))
+        geo = geometry_of(acc, (64, 64))
+        cfg = default_config()
+        assert geo.block_bytes == 16 * cfg.dtype_bytes
+        assert geo.n_blocks == 8
+        assert geo.stride_bytes == (64 - 16) * cfg.dtype_bytes
+        assert geo.n_descriptors == 1
+
+    def test_contiguous_tile(self):
+        acc = TileAccess("T", ((AffineExpr(0), 8), (AffineExpr(0), 64)))
+        geo = geometry_of(acc, (64, 64))
+        assert geo.n_blocks == 1
+        assert geo.stride_bytes == 0
+
+    def test_multilevel_stride_needs_descriptors(self):
+        acc = TileAccess(
+            "T", ((AffineExpr(0), 2), (AffineExpr(0), 3), (AffineExpr(0), 4))
+        )
+        geo = geometry_of(acc, (8, 8, 8))
+        assert geo.n_descriptors == 2  # one per outermost slice
+        assert geo.n_blocks == 6
+
+    def test_layout_changes_geometry(self):
+        """The same logical tile, two layouts: blocks differ -- the
+        Sec. 4.3.2 effect."""
+        tall = geometry_of(
+            TileAccess("T", ((AffineExpr(0), 64), (AffineExpr(0), 4))), (128, 128)
+        )
+        wide = geometry_of(
+            TileAccess("T", ((AffineExpr(0), 4), (AffineExpr(0), 64))), (128, 128)
+        )
+        assert tall.n_blocks == 64 and tall.block_bytes == 16
+        assert wide.n_blocks == 4 and wide.block_bytes == 256
+
+
+class TestInferPass:
+    def test_all_dmas_annotated(self):
+        cd, kernel = _lowered()
+        out = infer_dma(kernel, cd)
+        for dma in find_all(out, DmaCgNode):
+            assert dma.geometry is not None
+
+    def test_hoists_invariant_transfer(self):
+        """B's tile does not depend on cM: after hoisting, B's DMA sits
+        outside the cM loop."""
+        cd = gemm_cd(128, 128, 64)
+        sp = ScheduleSpace(cd)
+        sp.split("M", [64])
+        sp.split("N", [128])
+        sp.split("K", [64])
+        sp.reorder([("N", "M", "K")])
+        kernel = lower_strategy(cd, sp.strategy())
+        out = infer_dma(kernel, cd)
+
+        def dmas_inside_loops(root, buffer):
+            hits = []
+            def visit(node, loops):
+                if isinstance(node, DmaCgNode) and node.access.buffer == buffer:
+                    hits.append(tuple(loops))
+                if isinstance(node, ForNode):
+                    loops = loops + [node.var]
+                for c in node.children():
+                    visit(c, loops)
+            visit(root, [])
+            return hits
+
+        before = dmas_inside_loops(kernel, "B")
+        after = dmas_inside_loops(out, "B")
+        assert any("cM" in loc for loc in before)
+        assert all("cM" not in loc for loc in after)
+
+    def test_hoisting_preserves_transfer_count_in_tree(self):
+        """Hoisting dedupes identical transfers: fewer DMA nodes, and
+        the remaining one is the same access."""
+        cd, kernel = _lowered()
+        before = len(find_all(kernel, DmaCgNode))
+        after = len(find_all(infer_dma(kernel, cd), DmaCgNode))
+        assert after <= before
+
+    def test_never_hoists_past_binding_loop(self):
+        """A transfer referencing an inner loop variable must stay
+        inside that loop (regression: hoisting past nested binders)."""
+        cd = gemm_cd(256, 128, 256)
+        sp = ScheduleSpace(cd)
+        sp.split("M", [64])
+        sp.split("N", [64])
+        sp.split("K", [64])
+        kernel = lower_strategy(cd, sp.strategy())
+        out = infer_dma(kernel, cd)
+        # every remaining DMA's variables must be bound by its ancestors
+        def check(node, bound):
+            if isinstance(node, DmaCgNode):
+                assert node.access.variables() <= bound, (
+                    f"{node.access.buffer}: {node.access.variables()} vs {bound}"
+                )
+            if isinstance(node, ForNode):
+                bound = bound | {node.var}
+            for c in node.children():
+                check(c, bound)
+        check(out, set())
+
+    def test_storage_shapes_respect_layout(self):
+        cd = conv_cd()
+        sp = ScheduleSpace(cd)
+        sp.split("Kr", [1]); sp.split("Kc", [1])
+        sp.layout("input", [(1, 2, 3, 0)])  # Ni, Ri, Ci, B
+        kernel = lower_strategy(cd, sp.strategy())
+        shapes = storage_shapes(kernel, cd)
+        assert shapes["input"] == (8, 10, 10, 2)
+
+
+def _lowered():
+    cd = gemm_cd(128, 128, 128)
+    sp = ScheduleSpace(cd)
+    sp.split("M", [64]); sp.split("N", [64]); sp.split("K", [64])
+    return cd, lower_strategy(cd, sp.strategy())

@@ -1,0 +1,50 @@
+"""Tests for SPM planning over kernel IR."""
+
+import pytest
+
+from repro.errors import SpmCapacityError
+from repro.ir.nodes import AllocSpmNode, KernelNode, SeqNode
+from repro.machine.config import default_config
+from repro.optimizer.memplan import per_cpe_bytes, plan_spm, spm_utilization
+
+
+def kernel_with(allocs):
+    return KernelNode("k", allocs=allocs, body=SeqNode([]))
+
+
+class TestPerCpeBytes:
+    def test_distributed_2d(self):
+        # 64x64 f32: each CPE holds 8x8
+        a = AllocSpmNode("a", (64, 64))
+        assert per_cpe_bytes(a) == 8 * 8 * 4
+
+    def test_distributed_leading_singleton(self):
+        """A (1, 256, 256) batched-GEMM tile distributes over its
+        flattened (256, 256) view, not its leading singleton."""
+        a = AllocSpmNode("a", (1, 256, 256))
+        assert per_cpe_bytes(a) == 32 * 32 * 4
+
+    def test_replicated(self):
+        a = AllocSpmNode("a", (4, 4), distributed=False)
+        assert per_cpe_bytes(a) == 64
+
+    def test_rounds_up(self):
+        a = AllocSpmNode("a", (9, 9))
+        assert per_cpe_bytes(a) == 2 * 2 * 4  # ceil(9/8) each way
+
+
+class TestPlan:
+    def test_plan_offsets_and_capacity(self):
+        k = kernel_with([
+            AllocSpmNode("a", (64, 64), double_buffered=True),
+            AllocSpmNode("b", (64, 64)),
+        ])
+        plan = plan_spm(k)
+        assert plan.buffers["a"].reserved_bytes == 2 * 256
+        assert plan.total_bytes <= default_config().spm_bytes
+        assert 0 < spm_utilization(k) < 1
+
+    def test_overflow_raises(self):
+        k = kernel_with([AllocSpmNode("big", (4096, 4096))])
+        with pytest.raises(SpmCapacityError):
+            plan_spm(k)

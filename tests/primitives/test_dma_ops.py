@@ -1,0 +1,107 @@
+"""Tests for the swDMA/swDMAWait primitive wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DmaError
+from repro.machine.dma import MEM_TO_SPM, SPM_TO_MEM, DmaDescriptor, ReplyWord
+from repro.machine.memory import MainMemory
+from repro.primitives.dma_ops import DmaUnit
+
+
+def make_unit():
+    mem = MainMemory(1 << 20)
+    return mem, DmaUnit(mem)
+
+
+class TestSwDma:
+    def test_continuous_mode(self):
+        mem, unit = make_unit()
+        buf = mem.alloc("a", (64,))
+        mem.write(buf, np.arange(64, dtype=np.float32))
+        tr = unit.sw_dma(buf.addr, 256, 0, 0, MEM_TO_SPM)
+        payloads = unit.complete_gather(tr)
+        np.testing.assert_array_equal(payloads[0], np.arange(64, dtype=np.float32))
+
+    def test_strided_mode(self):
+        mem, unit = make_unit()
+        buf = mem.alloc("m", (4, 8))
+        data = np.arange(32, dtype=np.float32).reshape(4, 8)
+        mem.write(buf, data)
+        # 2 floats per row, skip 6
+        tr = unit.sw_dma(buf.addr, 4 * 8, 8, 24, MEM_TO_SPM)
+        got = unit.complete_gather(tr)[0].reshape(4, 2)
+        np.testing.assert_array_equal(got, data[:, :2])
+
+    def test_reply_word_counts_descriptors(self):
+        mem, unit = make_unit()
+        mem.alloc("a", (1024,))
+        reply = ReplyWord()
+        descs = [
+            DmaDescriptor(i * 256, 128, 128, 0, MEM_TO_SPM, cpe_id=i)
+            for i in range(4)
+        ]
+        tr = unit.batch(descs, reply)
+        unit.complete_gather(tr)
+        assert reply.count == 4
+        unit.sw_dma_wait(reply, 4)  # does not raise
+
+    def test_wait_raises_when_unsatisfied(self):
+        with pytest.raises(DmaError):
+            DmaUnit.sw_dma_wait(ReplyWord(), 1)
+
+    def test_scatter_roundtrip(self):
+        mem, unit = make_unit()
+        buf = mem.alloc("dst", (16,))
+        payload = np.arange(16, dtype=np.float32)
+        tr = unit.sw_dma(buf.addr, 64, 0, 0, SPM_TO_MEM)
+        unit.complete_scatter(tr, [payload])
+        np.testing.assert_array_equal(mem.read(buf), payload)
+
+    def test_scatter_payload_count_checked(self):
+        mem, unit = make_unit()
+        tr = unit.sw_dma(0, 64, 0, 0, SPM_TO_MEM)
+        with pytest.raises(DmaError):
+            unit.complete_scatter(tr, [])
+
+    def test_direction_mismatch(self):
+        mem, unit = make_unit()
+        tr_in = unit.sw_dma(0, 64, 0, 0, MEM_TO_SPM)
+        with pytest.raises(DmaError):
+            unit.complete_scatter(tr_in, [np.zeros(16, np.float32)])
+        tr_out = unit.sw_dma(0, 64, 0, 0, SPM_TO_MEM)
+        with pytest.raises(DmaError):
+            unit.complete_gather(tr_out)
+
+    def test_empty_batch_rejected(self):
+        _, unit = make_unit()
+        with pytest.raises(DmaError):
+            unit.batch([])
+
+    def test_mixed_direction_batch_rejected(self):
+        _, unit = make_unit()
+        descs = [
+            DmaDescriptor(0, 16, 16, 0, MEM_TO_SPM),
+            DmaDescriptor(64, 16, 16, 0, SPM_TO_MEM),
+        ]
+        with pytest.raises(DmaError):
+            unit.batch(descs)
+
+    def test_cost_attached(self):
+        _, unit = make_unit()
+        tr = unit.sw_dma(0, 4096, 0, 0, MEM_TO_SPM)
+        assert tr.cost.cycles > 0
+        assert tr.cost.payload_bytes == 4096
+
+
+class TestGld:
+    def test_gld_far_slower_than_dma(self):
+        _, unit = make_unit()
+        nbytes = 1 << 16
+        tr = unit.sw_dma(0, nbytes, 0, 0, MEM_TO_SPM)
+        assert unit.gld_cycles(nbytes) > 5 * tr.cost.cycles
+
+    def test_gld_validation(self):
+        _, unit = make_unit()
+        with pytest.raises(DmaError):
+            unit.gld_cycles(-1)

@@ -1,0 +1,172 @@
+"""Tests for the spm_gemm primitive: functional exactness and the
+structural cycle model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.config import default_config
+from repro.primitives.gemm_kernel import (
+    ALL_VARIANTS,
+    COL_MAJOR,
+    ROW_MAJOR,
+    KernelVariant,
+    gemm_flops,
+    kernel_cycles,
+    spm_gemm,
+    spm_tile_bytes,
+)
+
+
+def pack(mat: np.ndarray, layout: str, ld: int) -> np.ndarray:
+    """Pack a logical matrix into a flat SPM array in the given layout."""
+    rows, cols = mat.shape
+    if layout == COL_MAJOR:
+        flat = np.zeros(ld * cols, dtype=np.float32)
+        flat.reshape(cols, ld).T[:rows, :] = mat
+    else:
+        flat = np.zeros(ld * rows, dtype=np.float32)
+        flat.reshape(rows, ld)[:, :cols] = mat
+    return flat
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS, ids=lambda v: v.name)
+    def test_all_variants_compute_exact_product(self, variant):
+        rng = np.random.default_rng(0)
+        m, n, k = 12, 20, 16
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        c0 = rng.standard_normal((m, n)).astype(np.float32)
+
+        lda = m if variant.a_layout == COL_MAJOR else k
+        ldb = k if variant.b_layout == COL_MAJOR else n
+        c_layout = COL_MAJOR if variant.vec_dim == "M" else ROW_MAJOR
+        ldc = m if c_layout == COL_MAJOR else n
+
+        fa = pack(a, variant.a_layout, lda)
+        fb = pack(b, variant.b_layout, ldb)
+        fc = pack(c0, c_layout, ldc)
+        spm_gemm(
+            m, n, k, 1.0, fa, lda, fb, ldb, 1.0, fc, ldc, variant.vec_dim,
+            a_layout=variant.a_layout, b_layout=variant.b_layout,
+        )
+        if c_layout == COL_MAJOR:
+            got = fc.reshape(n, ldc).T[:m, :]
+        else:
+            got = fc.reshape(m, ldc)[:, :n]
+        np.testing.assert_allclose(got, a @ b + c0, rtol=1e-5, atol=1e-5)
+
+    def test_alpha_beta(self):
+        m = n = k = 8
+        a = np.eye(m, dtype=np.float32)
+        b = np.full((k, n), 2.0, dtype=np.float32)
+        c = np.ones((m, n), dtype=np.float32)
+        fa, fb = pack(a, COL_MAJOR, m), pack(b, COL_MAJOR, k)
+        fc = pack(c, COL_MAJOR, m)
+        spm_gemm(m, n, k, 0.5, fa, m, fb, k, 3.0, fc, m, "M")
+        got = fc.reshape(n, m).T
+        np.testing.assert_allclose(got, 0.5 * (a @ b) + 3.0 * c)
+
+    def test_padded_leading_dimension(self):
+        """lda > m leaves padding untouched (strided tile in SPM)."""
+        rng = np.random.default_rng(1)
+        m, n, k, lda = 6, 4, 5, 9
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        fa = pack(a, COL_MAJOR, lda)
+        fb = pack(b, COL_MAJOR, k)
+        fc = np.zeros(lda * n, dtype=np.float32)
+        spm_gemm(m, n, k, 1.0, fa, lda, fb, k, 0.0, fc, lda, "M")
+        got = fc.reshape(n, lda).T[:m, :]
+        np.testing.assert_allclose(got, a @ b, rtol=1e-5, atol=1e-6)
+        pad = fc.reshape(n, lda).T[m:, :]
+        assert (pad == 0).all()
+
+    def test_bad_leading_dim_rejected(self):
+        fa = np.zeros(64, np.float32)
+        with pytest.raises(MachineError):
+            spm_gemm(8, 8, 8, 1.0, fa, 4, fa, 8, 0.0, fa, 8, "M")
+
+    def test_undersized_spm_array_rejected(self):
+        small = np.zeros(8, np.float32)
+        big = np.zeros(64, np.float32)
+        with pytest.raises(MachineError):
+            spm_gemm(8, 8, 8, 1.0, small, 8, big, 8, 0.0, big, 8, "M")
+
+    def test_non_flat_operand_rejected(self):
+        mat = np.zeros((8, 8), np.float32)
+        flat = np.zeros(64, np.float32)
+        with pytest.raises(MachineError):
+            spm_gemm(8, 8, 8, 1.0, mat, 8, flat, 8, 0.0, flat, 8, "M")
+
+
+class TestCycleModel:
+    def test_shape_validation(self):
+        v = ALL_VARIANTS[0]
+        with pytest.raises(MachineError):
+            kernel_cycles(0, 8, 8, v)
+
+    def test_monotone_across_block_quanta(self):
+        """Cost grows once a dimension crosses a register-block quantum
+        (within a quantum it is flat -- the padded block does the same
+        work; see test_ceil_quantization_steps)."""
+        v = KernelVariant(COL_MAJOR, COL_MAJOR, "M")
+        base = kernel_cycles(64, 64, 64, v).total
+        assert kernel_cycles(256, 64, 64, v).total > base  # mc 8 -> 32: 2 blocks
+        assert kernel_cycles(64, 128, 64, v).total > base  # nc 8 -> 16: 4 scalars
+        assert kernel_cycles(64, 64, 128, v).total > base  # K loop doubles
+
+    def test_large_tiles_approach_peak(self):
+        """At 512^3 the best variant exceeds 85% of the vmad bound."""
+        best = min(
+            kernel_cycles(512, 512, 512, v).total for v in ALL_VARIANTS
+        )
+        ideal = 512 ** 3 / 256  # MNK / (64 CPEs * 4 lanes)
+        assert ideal / best > 0.85
+
+    def test_small_tiles_are_overhead_dominated(self):
+        cost = kernel_cycles(16, 16, 16, KernelVariant(COL_MAJOR, COL_MAJOR, "M"))
+        assert cost.overhead_fraction > 0.5
+
+    def test_layout_changes_cost(self):
+        good = kernel_cycles(256, 256, 256, KernelVariant(COL_MAJOR, COL_MAJOR, "M"))
+        bad = kernel_cycles(256, 256, 256, KernelVariant(ROW_MAJOR, COL_MAJOR, "M"))
+        assert bad.total > 1.5 * good.total
+
+    def test_vec_dim_matters_for_skinny_shapes(self):
+        """M=8 wastes the 16-element M-vector block; vec-N fills up."""
+        vec_m = kernel_cycles(8, 1024, 128, KernelVariant(COL_MAJOR, COL_MAJOR, "M"))
+        vec_n = kernel_cycles(8, 1024, 128, KernelVariant(ROW_MAJOR, ROW_MAJOR, "N"))
+        assert vec_n.total < vec_m.total
+
+    def test_ceil_quantization_steps(self):
+        """Cost is flat within a register-block quantum then jumps --
+        the nonlinearity a linear cost model cannot represent."""
+        v = KernelVariant(COL_MAJOR, COL_MAJOR, "M")
+        # per-CPE M tile: ceil(M/8); block quantum = 16 -> M quantum = 128
+        c1 = kernel_cycles(120, 64, 64, v).total
+        c2 = kernel_cycles(128, 64, 64, v).total
+        c3 = kernel_cycles(136, 64, 64, v).total
+        assert c1 == c2  # same number of blocks
+        assert c3 > c2  # crossed a block boundary
+
+    def test_flops(self):
+        assert gemm_flops(2, 3, 4) == 48
+
+
+class TestSpmFootprint:
+    def test_even_tile(self):
+        cfg = default_config()
+        # 64x64 tiles: each CPE holds 8x8 of each operand
+        assert spm_tile_bytes(64, 64, 64) == 3 * 8 * 8 * cfg.dtype_bytes
+
+    def test_rounds_up_for_ragged_tiles(self):
+        even = spm_tile_bytes(64, 64, 64)
+        ragged = spm_tile_bytes(65, 64, 64)
+        assert ragged > even
+
+    def test_scheduler_scale_tile_fits_spm(self):
+        """A typical tuned tile (128x128x128) fits in 64 KB per CPE."""
+        cfg = default_config()
+        assert spm_tile_bytes(128, 128, 128) < cfg.spm_bytes

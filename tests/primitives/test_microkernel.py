@@ -1,0 +1,83 @@
+"""Tests for the pipeline-derived micro-kernel cycle model."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.machine.config import default_config
+from repro.primitives.microkernel import (
+    ALL_VARIANTS,
+    COL_MAJOR,
+    ROW_MAJOR,
+    KernelVariant,
+    block_drain_cycles,
+    block_init_cycles,
+    cycles_per_k_step,
+)
+
+
+class TestVariantDefinitions:
+    def test_eight_variants(self):
+        assert len(ALL_VARIANTS) == 8
+        assert len({v.name for v in ALL_VARIANTS}) == 8
+
+    def test_validation(self):
+        with pytest.raises(PipelineError):
+            KernelVariant("diagonal", ROW_MAJOR, "M")
+        with pytest.raises(PipelineError):
+            KernelVariant(ROW_MAJOR, ROW_MAJOR, "K")
+
+    def test_vec_contiguity_rules(self):
+        """vec-M wants A column-major; vec-N wants B row-major
+        (Sec. 4.3.2 layout rules)."""
+        assert KernelVariant(COL_MAJOR, COL_MAJOR, "M").vec_operand_contiguous
+        assert not KernelVariant(ROW_MAJOR, COL_MAJOR, "M").vec_operand_contiguous
+        assert KernelVariant(COL_MAJOR, ROW_MAJOR, "N").vec_operand_contiguous
+        assert not KernelVariant(COL_MAJOR, COL_MAJOR, "N").vec_operand_contiguous
+
+    def test_names_stable(self):
+        v = KernelVariant(COL_MAJOR, ROW_MAJOR, "M")
+        assert v.name == "ac_br_vecm"
+
+
+class TestDerivedCycles:
+    def test_contiguous_variants_near_vmad_bound(self):
+        """Well-laid-out variants sustain ~1 vmad/cycle: 16 vmads ->
+        16-18 cycles per k-step (loop control costs a little)."""
+        good = KernelVariant(COL_MAJOR, COL_MAJOR, "M")
+        assert 16 <= cycles_per_k_step(good) <= 18
+
+    def test_noncontiguous_vec_operand_is_much_slower(self):
+        """Scalar load-and-pack roughly doubles the k-step: the effect
+        that makes layout transformation worth a schedule dimension."""
+        good = cycles_per_k_step(KernelVariant(COL_MAJOR, COL_MAJOR, "M"))
+        bad = cycles_per_k_step(KernelVariant(ROW_MAJOR, COL_MAJOR, "M"))
+        assert bad >= 1.7 * good
+
+    def test_all_variants_at_least_vmad_bound(self):
+        for v in ALL_VARIANTS:
+            assert cycles_per_k_step(v) >= 16
+
+    def test_symmetry_between_vec_dims(self):
+        """vec-M with (A col, B col) mirrors vec-N with (B row, A row)."""
+        m_side = cycles_per_k_step(KernelVariant(COL_MAJOR, COL_MAJOR, "M"))
+        n_side = cycles_per_k_step(KernelVariant(ROW_MAJOR, ROW_MAJOR, "N"))
+        assert m_side == n_side
+
+
+class TestInitDrain:
+    def test_init_nonzero_and_variant_dependent(self):
+        good = block_init_cycles(KernelVariant(COL_MAJOR, COL_MAJOR, "M"))
+        bad = block_init_cycles(KernelVariant(ROW_MAJOR, COL_MAJOR, "M"))
+        assert good >= 16  # at least the 16 C loads
+        assert bad > good
+
+    def test_drain_covers_stores_plus_latency(self):
+        cfg = default_config()
+        drain = block_drain_cycles(KernelVariant(COL_MAJOR, COL_MAJOR, "M"))
+        # 16 stores on one pipe + waiting out the last vmad latency
+        assert drain >= 16
+        assert drain <= 16 + cfg.latencies["vmad"] + 4
+
+    def test_results_cached(self):
+        v = KernelVariant(COL_MAJOR, COL_MAJOR, "M")
+        assert cycles_per_k_step(v) == cycles_per_k_step(v)

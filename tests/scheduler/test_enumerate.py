@@ -1,0 +1,58 @@
+"""Tests for schedule-space enumeration and pruning."""
+
+import pytest
+
+from repro.dsl import ScheduleSpace
+from repro.errors import TuningError
+from repro.scheduler import EnumerationStats, enumerate_candidates, iter_candidates
+
+from .test_lower import gemm_cd
+
+
+def small_space(M=128, N=128, K=128):
+    cd = gemm_cd(M, N, K)
+    sp = ScheduleSpace(cd)
+    sp.split("M", [32, 64])
+    sp.split("N", [32, 64])
+    sp.split("K", [64])
+    sp.vectorize()
+    return cd, sp
+
+
+class TestEnumeration:
+    def test_all_legal_candidates_yielded(self):
+        cd, sp = small_space()
+        cands = enumerate_candidates(cd, sp)
+        assert len(cands) == sp.size() == 8
+
+    def test_stats_track_pruning(self):
+        cd, sp = small_space()
+        # add an order that is illegal (reduction outermost)
+        sp.reorder([("M", "N", "K"), ("K", "M", "N")])
+        stats = EnumerationStats()
+        cands = list(iter_candidates(cd, sp, stats=stats))
+        assert stats.declared == 16
+        assert stats.pruned == 8
+        assert stats.legal == len(cands) == 8
+
+    def test_limit(self):
+        cd, sp = small_space()
+        cands = enumerate_candidates(cd, sp, limit=3)
+        assert len(cands) == 3
+
+    def test_empty_space_raises(self):
+        cd, sp = small_space()
+        sp.reorder([("K", "M", "N")])  # every strategy illegal
+        with pytest.raises(TuningError):
+            enumerate_candidates(cd, sp)
+
+    def test_candidates_carry_distinct_kernels(self):
+        cd, sp = small_space()
+        cands = enumerate_candidates(cd, sp)
+        names = {c.describe() for c in cands}
+        assert len(names) == len(cands)
+
+    def test_candidate_description(self):
+        cd, sp = small_space()
+        cand = enumerate_candidates(cd, sp, limit=1)[0]
+        assert "tile:M" in cand.describe()

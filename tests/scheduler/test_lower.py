@@ -1,0 +1,204 @@
+"""Tests for strategy lowering: structure, boundaries, legality."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import ComputeDef, ScheduleSpace, ShiftedDim
+from repro.errors import IllegalCandidateError
+from repro.ir import (
+    DmaCgNode,
+    ForNode,
+    GemmOpNode,
+    KernelNode,
+    ZeroSpmNode,
+    find_all,
+    walk,
+)
+from repro.machine.dma import MEM_TO_SPM, SPM_TO_MEM
+from repro.scheduler import LoweringOptions, lower_strategy
+
+
+def gemm_cd(M=128, N=128, K=128):
+    cd = ComputeDef("gemm")
+    cd.axis("M", M)
+    cd.axis("N", N)
+    cd.axis("K", K, reduction=True)
+    cd.tensor("A", ["M", "K"], "input")
+    cd.tensor("B", ["K", "N"], "input")
+    cd.tensor("C", ["M", "N"], "output")
+    cd.define_gemm("C", "A", "B", m="M", n=["N"], k="K")
+    return cd
+
+
+def conv_cd():
+    cd = ComputeDef("conv")
+    cd.axis("B", 2)
+    cd.axis("No", 16)
+    cd.axis("Ro", 8)
+    cd.axis("Co", 8)
+    cd.axis("Ni", 8, reduction=True)
+    cd.axis("Kr", 3, reduction=True)
+    cd.axis("Kc", 3, reduction=True)
+    cd.tensor(
+        "input", ["B", "Ni", ShiftedDim("Ro", "Kr"), ShiftedDim("Co", "Kc")], "input"
+    )
+    cd.tensor("weight", ["No", "Ni", "Kr", "Kc"], "weight")
+    cd.tensor("out", ["B", "No", "Ro", "Co"], "output")
+    cd.define_gemm("out", "weight", "input", m="No", n=["B", "Ro", "Co"], k="Ni")
+    return cd
+
+
+def lower_gemm(M=128, N=128, K=128, tm=64, tn=64, tk=64, **overrides):
+    cd = gemm_cd(M, N, K)
+    sp = ScheduleSpace(cd)
+    sp.split("M", [tm])
+    sp.split("N", [tn])
+    sp.split("K", [tk])
+    sp.vectorize()
+    sp.spm_layout("a")
+    sp.spm_layout("b")
+    return cd, lower_strategy(cd, sp.strategy(**overrides))
+
+
+class TestStructure:
+    def test_loop_trip_counts(self):
+        _, k = lower_gemm(128, 128, 128, 64, 64, 64)
+        loops = {n.var: n.extent for n in walk(k) if isinstance(n, ForNode)}
+        assert loops == {"cM": 2, "cN": 2, "cK": 2}
+
+    def test_accumulation_region(self):
+        """Each output tile: zero C -> K loop -> write back."""
+        _, k = lower_gemm()
+        zeros = find_all(k, ZeroSpmNode)
+        outs = [d for d in find_all(k, DmaCgNode) if d.direction == SPM_TO_MEM]
+        assert len(zeros) == 1 and len(outs) == 1
+        assert all(z.spm == "spm_c" for z in zeros)
+
+    def test_trip_one_loop_collapsed(self):
+        _, k = lower_gemm(128, 128, 128, 128, 64, 64)
+        loops = [n.var for n in walk(k) if isinstance(n, ForNode)]
+        assert "cM" not in loops
+
+    def test_gemm_site_dims(self):
+        _, k = lower_gemm(128, 128, 128, 64, 32, 16)
+        g = find_all(k, GemmOpNode)[0]
+        assert (g.m, g.n, g.k) == (64, 32, 16)
+
+    def test_kernel_name_encodes_variant(self):
+        _, k = lower_gemm(vec_dim="N")
+        assert "vecn" in k.name
+
+
+class TestBoundaries:
+    def test_ragged_split_peels_epilogue(self):
+        """200 = 3*64 + 8: boundary gemm sites use the tail size."""
+        _, k = lower_gemm(M=200, tm=64)
+        sizes = {g.m for g in find_all(k, GemmOpNode)}
+        assert sizes == {64, 8}
+
+    def test_all_ragged_produces_all_combinations(self):
+        _, k = lower_gemm(M=100, N=100, K=100, tm=64, tn=64, tk=64)
+        sigs = {(g.m, g.n, g.k) for g in find_all(k, GemmOpNode)}
+        assert sigs == {
+            (64, 64, 64), (64, 64, 36), (64, 36, 64), (64, 36, 36),
+            (36, 64, 64), (36, 64, 36), (36, 36, 64), (36, 36, 36),
+        }
+
+    def test_tiny_tail_lightweight_padded(self):
+        """M = 66 = 64 + 2: the 2-wide vec-M boundary pads to 4 and the
+        pad buffer is zeroed (lightweight zero-padding)."""
+        _, k = lower_gemm(M=66, tm=64, vec_dim="M")
+        sizes = sorted({g.m for g in find_all(k, GemmOpNode)})
+        assert sizes == [4, 64]
+        pad_zeros = [z for z in find_all(k, ZeroSpmNode) if z.spm == "spm_a"]
+        assert pad_zeros
+
+    def test_boundary_dma_moves_only_real_data(self):
+        _, k = lower_gemm(M=66, tm=64)
+        a_dmas = [
+            d for d in find_all(k, DmaCgNode)
+            if d.access.buffer == "A" and d.direction == MEM_TO_SPM
+        ]
+        m_lens = {d.access.dims[0][1] for d in a_dmas}
+        assert m_lens == {64, 2}  # never the padded 4
+
+    def test_alloc_covers_padded_tail(self):
+        _, k = lower_gemm(M=66, tm=64, vec_dim="M")
+        assert k.alloc("spm_a").shape[0] >= 64
+
+
+class TestConvLowering:
+    def test_conv_alg2_structure(self):
+        cd = conv_cd()
+        sp = ScheduleSpace(cd)
+        for ax, f in [("B", 2), ("No", 16), ("Ro", 8), ("Co", 8), ("Ni", 8)]:
+            sp.split(ax, [f])
+        sp.split("Kr", [1])
+        sp.split("Kc", [1])
+        k = lower_strategy(cd, sp.strategy())
+        # kernel loops Kr/Kc stay; all others collapse (single trip)
+        loops = {n.var: n.extent for n in walk(k) if isinstance(n, ForNode)}
+        assert loops == {"cKr": 3, "cKc": 3}
+        # shifted access: input rows length = tile_ro (+ tile_kr - 1 = 0)
+        b_dma = [
+            d for d in find_all(k, DmaCgNode) if d.access.buffer == "input"
+        ][0]
+        assert b_dma.access.dims[2][1] == 8
+
+    def test_conv_fused_n_dimension(self):
+        cd = conv_cd()
+        sp = ScheduleSpace(cd)
+        for ax, f in [("B", 2), ("No", 16), ("Ro", 4), ("Co", 8), ("Ni", 8)]:
+            sp.split(ax, [f])
+        sp.split("Kr", [1])
+        sp.split("Kc", [1])
+        k = lower_strategy(cd, sp.strategy())
+        g = find_all(k, GemmOpNode)[0]
+        assert g.n == 2 * 4 * 8  # B x Ro_tile x Co_tile
+
+    def test_kernel_axis_tile_must_be_one(self):
+        cd = conv_cd()
+        sp = ScheduleSpace(cd)
+        sp.split("Kr", [3])
+        with pytest.raises(IllegalCandidateError):
+            lower_strategy(cd, sp.strategy())
+
+
+class TestLegality:
+    def test_reduction_outside_spatial_rejected(self):
+        cd = gemm_cd()
+        sp = ScheduleSpace(cd)
+        sp.reorder([("K", "M", "N")])
+        with pytest.raises(IllegalCandidateError):
+            lower_strategy(cd, sp.strategy())
+
+    def test_spm_overflow_rejected(self):
+        cd = gemm_cd(2048, 2048, 2048)
+        sp = ScheduleSpace(cd)
+        sp.split("M", [2048])
+        sp.split("N", [2048])
+        sp.split("K", [2048])
+        with pytest.raises(IllegalCandidateError):
+            lower_strategy(cd, sp.strategy())
+
+    def test_bad_order_permutation_rejected(self):
+        cd = gemm_cd()
+        sp = ScheduleSpace(cd)
+        strat = sp.strategy()
+        strat = type(strat)({**strat.decisions, "order": ("M", "N")})
+        with pytest.raises(IllegalCandidateError):
+            lower_strategy(cd, strat)
+
+    def test_double_buffer_budget_counted(self):
+        """A tile that fits single-buffered but not doubled is pruned
+        only when double buffering is requested."""
+        cd = gemm_cd(512, 512, 512)
+        sp = ScheduleSpace(cd)
+        sp.split("M", [512])
+        sp.split("N", [512])
+        sp.split("K", [512])
+        strat = sp.strategy()
+        with pytest.raises(IllegalCandidateError):
+            lower_strategy(cd, strat, options=LoweringOptions(double_buffer=True))
+        k = lower_strategy(cd, strat, options=LoweringOptions(double_buffer=False))
+        assert isinstance(k, KernelNode)

@@ -1,0 +1,127 @@
+"""Tests for network tables and evaluation sweeps."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    BATCH_SIZES,
+    GemmShape,
+    conv_layers,
+    listing1_configs,
+    listing2_aligned,
+    listing2_shapes,
+    listing2_unaligned,
+    network,
+    subsample,
+)
+
+
+class TestNetworks:
+    def test_known_networks(self):
+        for name in ("vgg16", "resnet", "yolo"):
+            assert network(name)
+        with pytest.raises(WorkloadError):
+            network("alexnet")
+
+    def test_vgg16_has_thirteen_conv_layers(self):
+        total = sum(spec.count for spec in network("vgg16"))
+        assert total == 13
+
+    def test_implicit_excludes_first_layer(self):
+        layers = conv_layers("vgg16", method="implicit")
+        assert all(spec.ni >= 8 for spec in layers)
+
+    def test_winograd_only_3x3(self):
+        layers = conv_layers("yolo", method="winograd")
+        assert layers
+        assert all(spec.kernel == 3 for spec in layers)
+
+    def test_strided_layers_excluded(self):
+        for name in ("resnet", "yolo"):
+            for method in ("implicit", "explicit", "winograd"):
+                assert all(
+                    spec.stride == 1 for spec in conv_layers(name, method=method)
+                )
+
+    def test_unique_vs_expanded(self):
+        uniq = conv_layers("vgg16", method="implicit")
+        full = conv_layers("vgg16", method="implicit", unique=False)
+        assert len(full) == sum(spec.count for spec in uniq)
+
+    def test_layer_params_scaling(self):
+        spec = network("vgg16")[1]  # 64->64 at 224
+        p1 = spec.params(batch=32)
+        p4 = spec.params(batch=32, scale=4)
+        assert p1.ri == 224 and p4.ri == 56
+        assert p4.ni == p1.ni  # channels preserved
+
+    def test_scale_floor(self):
+        spec = network("vgg16")[-1]  # spatial 14
+        assert spec.params(batch=1, scale=8).ri == 4
+
+    def test_bad_scale(self):
+        with pytest.raises(WorkloadError):
+            network("vgg16")[0].params(batch=1, scale=0)
+
+    def test_batch_sizes_match_paper(self):
+        assert BATCH_SIZES == (1, 32, 128)
+
+
+class TestListing1:
+    def test_default_count_is_75(self):
+        assert len(listing1_configs(batch=32)) == 75
+
+    def test_literal_script_count_is_60(self):
+        cfgs = listing1_configs(batch=32, literal_script=True)
+        assert len(cfgs) == 60
+        assert all(c.ni >= c.no for c in cfgs)
+
+    def test_all_3x3_padded(self):
+        for c in listing1_configs(batch=1):
+            assert (c.kr, c.kc, c.pad) == (3, 3, 1)
+
+    def test_scaling(self):
+        cfgs = listing1_configs(batch=1, scale=4)
+        assert max(c.ri for c in cfgs) == 32
+        assert min(c.ri for c in cfgs) >= 4
+
+
+class TestListing2:
+    def test_counts_match_paper(self):
+        assert len(listing2_shapes()) == 559
+        assert len(listing2_unaligned()) == 216
+        assert len(listing2_aligned()) == 343
+
+    def test_alignment_flags(self):
+        assert all(s.m % 4 == 0 for s in listing2_aligned())
+        assert any(s.m == 200 for s in listing2_unaligned())
+
+    def test_scaling_preserves_counts(self):
+        shapes = listing2_shapes(scale=4)
+        assert len(shapes) == 559
+        # aligned values shrink at half the nominal scale (diversity)
+        assert max(s.m for s in shapes if s.aligned) == 4096
+        assert max(s.m for s in shapes if not s.aligned) == 2000
+        assert all(s.m >= 36 for s in shapes)
+
+    def test_scaled_shape_vector_aligned(self):
+        s = GemmShape(200, 500, 1000, aligned=False).scaled(4)
+        assert s.m % 4 == 0 and s.n % 4 == 0 and s.k % 4 == 0
+
+    def test_bad_scale(self):
+        with pytest.raises(WorkloadError):
+            GemmShape(8, 8, 8, True).scaled(0)
+
+
+class TestSubsample:
+    def test_shorter_than_limit(self):
+        assert subsample([1, 2, 3], 5) == [1, 2, 3]
+
+    def test_even_coverage(self):
+        out = subsample(list(range(100)), 10)
+        assert len(out) == 10
+        assert out[0] == 0 and out[-1] >= 80
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            subsample([1], 0)
