@@ -64,7 +64,19 @@ def main(argv=None) -> int:
         default=None,
         help="evaluation scale (default: $REPRO_SCALE or 'default')",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate tuning candidates on N worker processes "
+             "(default: serial; every tuner in the run inherits this)",
+    )
     args = parser.parse_args(argv)
+    if args.workers is not None:
+        from .engine import set_default_workers
+
+        set_default_workers(args.workers)
     scale = get_scale(args.scale)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:

@@ -5,25 +5,36 @@ collecting real execution time."  Every legal candidate is compiled and
 executed on the simulated machine; the wall-clock cost of doing so is
 exactly the tuning-time penalty Tab. 3 quantifies against the
 model-based tuner.
+
+Preparation and execution route through :mod:`repro.engine`;
+``workers > 1`` fans candidate executions out over worker processes
+with order-stable, bit-identical results.  Memoization defaults *off*
+here: the black-box tuner exists to measure the true cost of brute
+force, and answering from a warm memo would corrupt that measurement
+(pass ``memoize=True`` to opt in when the cost is not the point).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from ..codegen.executor import CompiledKernel
 from ..dsl.compute import ComputeDef
 from ..dsl.schedule import ScheduleSpace
 from ..errors import TuningError
 from ..machine.config import MachineConfig, default_config
-from ..optimizer.dma_inference import infer_dma
-from ..optimizer.prefetch import apply_prefetch
-from ..scheduler.enumerate import Candidate, EnumerationStats, iter_candidates
 from ..scheduler.lower import LoweringOptions
-from .model_tuner import synthetic_feeds
+from ..engine import (
+    CandidatePipeline,
+    Evaluator,
+    MemoizingEvaluator,
+    SimulatorEvaluator,
+    evaluate_batch,
+    synthetic_feeds,
+)
+from .model_tuner import _memo_salt
 from .result import CandidateScore, TuningResult
 
 
@@ -37,51 +48,58 @@ def tune_blackbox(
     feeds: Optional[Dict[str, np.ndarray]] = None,
     keep_scores: bool = False,
     limit: Optional[int] = None,
+    workers: Optional[int] = None,
+    memoize: bool = False,
 ) -> TuningResult:
     """Execute every legal candidate; return the measured best.
 
     ``limit`` caps the number of executed candidates (used by smoke
     benches; the paper's black-box numbers use the full space).
+    ``workers`` parallelizes execution (``None`` inherits the
+    process-wide default, see ``repro.engine.set_default_workers``).
     """
     cfg = config or default_config()
     data = feeds if feeds is not None else synthetic_feeds(compute)
     t0 = time.perf_counter()
 
-    stats = EnumerationStats()
-    scores: List[CandidateScore] = []
-    best: Optional[CandidateScore] = None
-    best_report = None
-    for cand in iter_candidates(
-        compute, space, options=options, config=cfg, stats=stats
-    ):
-        kernel = infer_dma(cand.kernel, compute, cfg)
-        if prefetch:
-            kernel = apply_prefetch(kernel)
-        ck = CompiledKernel(kernel, compute, cfg)
-        report = ck.run(data).report
-        score = CandidateScore(
-            candidate=Candidate(cand.strategy, kernel, compute),
-            measured_cycles=report.cycles,
-        )
-        if keep_scores:
-            scores.append(score)
-        if best is None or report.cycles < (best.measured_cycles or float("inf")):
-            best = score
-            best_report = report
-        if limit is not None and stats.legal >= limit:
-            break
-    if best is None:
+    pipeline = CandidatePipeline(
+        compute, space, options=options, config=cfg, prefetch=prefetch
+    )
+    candidates = list(pipeline.candidates(limit=limit))
+    if not candidates:
         raise TuningError(
             f"schedule space of {compute.name!r} has no legal candidates"
         )
+
+    simulator: Evaluator = SimulatorEvaluator(data, cfg)
+    if memoize:
+        simulator = MemoizingEvaluator(
+            simulator, salt=_memo_salt(options, prefetch)
+        )
+    evaluations = evaluate_batch(
+        candidates, simulator, workers=workers, metrics=pipeline.metrics
+    )
+    scores = [
+        CandidateScore(
+            candidate=c,
+            measured_cycles=e.measured_cycles,
+            report=e.report,
+        )
+        for c, e in zip(candidates, evaluations)
+    ]
+    # min() keeps the first of equals -- same tie-break as the seed's
+    # strict-less scan, so results are stable across worker counts.
+    best = min(scores, key=lambda s: s.measured_cycles or float("inf"))
+
     wall = time.perf_counter() - t0
     return TuningResult(
         best=best,
-        space_size=stats.declared,
-        legal_count=stats.legal,
-        evaluated=stats.legal,
+        space_size=pipeline.stats.declared,
+        legal_count=pipeline.stats.legal,
+        evaluated=len(scores),
         wall_seconds=wall,
         method="blackbox",
-        scores=scores,
-        report=best_report,
+        scores=scores if keep_scores else [],
+        report=best.report,
+        metrics=pipeline.metrics,
     )

@@ -1,44 +1,53 @@
 """The performance-model-based autotuner (Sec. 4.6).
 
-For every legal candidate the tuner runs the optimizer pipeline (cheap
-IR rewrites), evaluates the static cost model, and finally executes
-only the predicted-best candidate -- this is what collapses tuning time
-from hours (black-box) to seconds/minutes while staying within a few
-percent of the true optimum (Fig. 9, Tab. 3).
+For every legal candidate the engine runs the optimizer pipeline (cheap
+IR rewrites) and the static cost model; only the predicted-best
+candidate(s) are executed -- this is what collapses tuning time from
+hours (black-box) to seconds/minutes while staying within a few percent
+of the true optimum (Fig. 9, Tab. 3).
+
+Candidate preparation and scoring route through :mod:`repro.engine`:
+the :class:`~repro.engine.CandidatePipeline` owns the
+enumerate -> optimize loop, evaluators own prediction/execution, and
+``evaluate_batch`` fans the work out over ``workers`` processes.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from ..dsl.compute import ComputeDef, ROLE_OUTPUT
+from ..dsl.compute import ComputeDef
 from ..dsl.schedule import ScheduleSpace
 from ..errors import TuningError
 from ..machine.config import MachineConfig, default_config
-from ..optimizer.dma_inference import infer_dma
-from ..optimizer.prefetch import apply_prefetch
-from ..scheduler.enumerate import Candidate, EnumerationStats, iter_candidates
 from ..scheduler.lower import LoweringOptions
-from .calibrate import default_coeffs
-from .cost_model import GemmCoeffs, predict_kernel
+from ..engine import (
+    AnalyticEvaluator,
+    CandidatePipeline,
+    Evaluator,
+    MemoizingEvaluator,
+    SimulatorEvaluator,
+    evaluate_batch,
+    synthetic_feeds,
+)
+from .cost_model import GemmCoeffs
 from .result import CandidateScore, TuningResult
 
+__all__ = ["synthetic_feeds", "tune_with_model"]
 
-def synthetic_feeds(
-    compute: ComputeDef, seed: int = 0
-) -> Dict[str, np.ndarray]:
-    """Deterministic random inputs for every non-output tensor."""
-    rng = np.random.default_rng(seed)
-    feeds = {}
-    for name, spec in compute.tensors.items():
-        if spec.role == ROLE_OUTPUT:
-            continue
-        shape = compute.tensor_shape(name)
-        feeds[name] = rng.standard_normal(shape).astype(np.float32)
-    return feeds
+
+def _memo_salt(options: Optional[LoweringOptions], prefetch: bool):
+    """Context that changes the lowered kernel without changing the
+    (compute, strategy) pair -- must split memo entries."""
+    opts = (
+        None
+        if options is None
+        else (options.double_buffer, options.min_vec_extent)
+    )
+    return (opts, bool(prefetch))
 
 
 def tune_with_model(
@@ -53,63 +62,72 @@ def tune_with_model(
     feeds: Optional[Dict[str, np.ndarray]] = None,
     keep_scores: bool = False,
     top_k: int = 1,
+    workers: Optional[int] = None,
+    memoize: bool = True,
 ) -> TuningResult:
     """Rank all candidates analytically; execute the best.
 
     ``top_k > 1`` re-measures the k best predictions and keeps the
     fastest -- the paper's "pick best (or top k)" refinement.
+    ``workers`` parallelizes evaluation (``None`` inherits the
+    process-wide default, see ``repro.engine.set_default_workers``);
+    ``memoize`` reuses measured runs of strategies already executed
+    anywhere in this process.
     """
     cfg = config or default_config()
-    model = coeffs or default_coeffs(cfg)
     t0 = time.perf_counter()
 
-    stats = EnumerationStats()
-    scored: List[CandidateScore] = []
-    for cand in iter_candidates(
-        compute, space, options=options, config=cfg, stats=stats
-    ):
-        kernel = infer_dma(cand.kernel, compute, cfg)
-        if prefetch:
-            kernel = apply_prefetch(kernel)
-        pred = predict_kernel(kernel, model, cfg)
-        scored.append(
-            CandidateScore(
-                candidate=Candidate(cand.strategy, kernel, compute),
-                predicted_cycles=pred.total,
-            )
-        )
-    if not scored:
+    pipeline = CandidatePipeline(
+        compute, space, options=options, config=cfg, prefetch=prefetch
+    )
+    candidates = list(pipeline.candidates())
+    if not candidates:
         raise TuningError(
             f"schedule space of {compute.name!r} has no legal candidates"
         )
+
+    analytic = AnalyticEvaluator(coeffs, cfg)
+    predictions = evaluate_batch(
+        candidates, analytic, workers=workers, metrics=pipeline.metrics
+    )
+    scored = [
+        CandidateScore(candidate=c, predicted_cycles=e.predicted_cycles)
+        for c, e in zip(candidates, predictions)
+    ]
     scored.sort(key=lambda s: s.predicted_cycles or float("inf"))
 
     finalists = scored[: max(1, top_k)]
     best = finalists[0]
     report = None
     if run_best:
-        from ..codegen.executor import CompiledKernel
-
         data = feeds if feeds is not None else synthetic_feeds(compute)
-        reports = {}
-        for s in finalists:
-            # candidates carry already-optimized IR: bind directly
-            ck = CompiledKernel(s.candidate.kernel, compute, cfg)
-            rep = ck.run(data).report
-            s.measured_cycles = rep.cycles
-            reports[id(s)] = rep
+        simulator: Evaluator = SimulatorEvaluator(data, cfg)
+        if memoize:
+            simulator = MemoizingEvaluator(
+                simulator, salt=_memo_salt(options, prefetch)
+            )
+        measured = evaluate_batch(
+            [s.candidate for s in finalists],
+            simulator,
+            workers=workers,
+            metrics=pipeline.metrics,
+        )
+        for score, evaluation in zip(finalists, measured):
+            score.measured_cycles = evaluation.measured_cycles
+            score.report = evaluation.report
         finalists.sort(key=lambda s: s.measured_cycles or float("inf"))
         best = finalists[0]
-        report = reports[id(best)]
+        report = best.report
 
     wall = time.perf_counter() - t0
     return TuningResult(
         best=best,
-        space_size=stats.declared,
-        legal_count=stats.legal,
+        space_size=pipeline.stats.declared,
+        legal_count=pipeline.stats.legal,
         evaluated=len(scored),
         wall_seconds=wall,
         method="model",
         scores=scored if keep_scores else [],
         report=report,
+        metrics=pipeline.metrics,
     )

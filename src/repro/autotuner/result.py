@@ -5,17 +5,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..engine.metrics import EngineMetrics
 from ..machine.trace import SimReport
 from ..scheduler.enumerate import Candidate
 
 
 @dataclass
 class CandidateScore:
-    """One candidate's evaluation."""
+    """One candidate's evaluation.
+
+    The measured :class:`SimReport` (when the candidate was executed)
+    travels *on* the score -- keying reports by ``id(score)`` on the
+    side, as the model tuner once did, breaks as soon as a score is
+    copied or collected.
+    """
 
     candidate: Candidate
     predicted_cycles: Optional[float] = None
     measured_cycles: Optional[float] = None
+    report: Optional[SimReport] = None
 
     @property
     def cycles(self) -> float:
@@ -38,6 +46,7 @@ class TuningResult:
     method: str              # "model" or "blackbox"
     scores: List[CandidateScore] = field(default_factory=list)
     report: Optional[SimReport] = None  # measured run of the winner
+    metrics: Optional[EngineMetrics] = None  # per-stage engine accounting
 
     def summary(self) -> str:
         cyc = (
@@ -45,7 +54,10 @@ class TuningResult:
             if self.report is not None
             else f"{self.best.cycles:.3g} cycles"
         )
-        return (
+        text = (
             f"[{self.method}] space={self.space_size} legal={self.legal_count} "
             f"evaluated={self.evaluated} wall={self.wall_seconds:.2f}s best={cyc}"
         )
+        if self.metrics is not None:
+            text += f"\n  engine: {self.metrics.describe()}"
+        return text

@@ -1,0 +1,51 @@
+"""The candidate-evaluation engine.
+
+Single owner of candidate preparation (enumerate -> optimize -> lower)
+and evaluation (cost model or simulated execution, optionally memoized
+and fanned out over worker processes).  Both autotuners, the operator
+runners and the runtime library route through this package; see
+DESIGN.md Sec. 2 ("Evaluation engine").
+"""
+
+from .evaluators import (
+    AnalyticEvaluator,
+    Evaluation,
+    Evaluator,
+    MemoizingEvaluator,
+    SimulatorEvaluator,
+    clear_shared_memo,
+    compute_signature,
+    shared_memo_size,
+    strategy_key,
+    synthetic_feeds,
+)
+from .metrics import EngineMetrics, StageStats
+from .parallel import (
+    default_workers,
+    evaluate_batch,
+    resolve_workers,
+    set_default_workers,
+)
+from .pipeline import CandidatePipeline, clip_strategy, compile_strategy
+
+__all__ = [
+    "AnalyticEvaluator",
+    "CandidatePipeline",
+    "EngineMetrics",
+    "Evaluation",
+    "Evaluator",
+    "MemoizingEvaluator",
+    "SimulatorEvaluator",
+    "StageStats",
+    "clear_shared_memo",
+    "clip_strategy",
+    "compile_strategy",
+    "compute_signature",
+    "default_workers",
+    "evaluate_batch",
+    "resolve_workers",
+    "set_default_workers",
+    "shared_memo_size",
+    "strategy_key",
+    "synthetic_feeds",
+]

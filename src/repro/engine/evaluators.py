@@ -1,0 +1,238 @@
+"""Pluggable candidate evaluators behind one interface.
+
+Both autotuners reduce to "score a batch of prepared candidates"; the
+difference is *how* a candidate is scored:
+
+* :class:`AnalyticEvaluator` -- the Eq. (1)/(2) static cost model, the
+  cheap path that makes model-based tuning hundreds of times faster
+  than brute force (Tab. 3);
+* :class:`SimulatorEvaluator` -- compile and execute on the simulated
+  SW26010 (the paper's "collect real execution time");
+* :class:`MemoizingEvaluator` -- wraps either one with a
+  process-lifetime memo keyed by (compute signature, strategy
+  decisions, machine config, evaluator parameters), so a strategy that
+  was already scored anywhere -- either tuner, a sweep bench, or
+  :class:`~repro.runtime.library.AtopLibrary` -- is never re-simulated.
+
+Simulated timing is data-independent (DMA cost depends on shapes and
+addresses, GEMM cost on tile dims), which is what makes memoizing
+measured runs across different input tensors sound: the ranking
+quantity (cycles) is identical for any feed values of the same shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, MutableMapping, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..autotuner.cost_model import GemmCoeffs
+
+from ..dsl.compute import ComputeDef, ROLE_OUTPUT, ShiftedDim
+from ..dsl.schedule import ScheduleStrategy
+from ..machine.config import MachineConfig, default_config
+from ..machine.trace import SimReport
+from ..scheduler.enumerate import Candidate
+
+
+def synthetic_feeds(
+    compute: ComputeDef, seed: int = 0
+) -> Dict[str, np.ndarray]:
+    """Deterministic random inputs for every non-output tensor."""
+    rng = np.random.default_rng(seed)
+    feeds = {}
+    for name, spec in compute.tensors.items():
+        if spec.role == ROLE_OUTPUT:
+            continue
+        shape = compute.tensor_shape(name)
+        feeds[name] = rng.standard_normal(shape).astype(np.float32)
+    return feeds
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Outcome of evaluating one candidate."""
+
+    predicted_cycles: Optional[float] = None
+    measured_cycles: Optional[float] = None
+    report: Optional[SimReport] = None
+    memoized: bool = False
+
+    @property
+    def cycles(self) -> float:
+        if self.measured_cycles is not None:
+            return self.measured_cycles
+        if self.predicted_cycles is not None:
+            return self.predicted_cycles
+        raise ValueError("candidate was never evaluated")
+
+
+def _dim_key(dim):
+    if isinstance(dim, ShiftedDim):
+        return ("shift", dim.spatial, dim.kernel)
+    return dim
+
+
+def compute_signature(compute: ComputeDef) -> Tuple:
+    """Hashable identity of a schedule seed (axes, tensors, gemm)."""
+    axes = tuple((a.name, a.extent, a.kind) for a in compute.axes.values())
+    tensors = tuple(
+        (t.name, tuple(_dim_key(d) for d in t.dims), t.role)
+        for t in compute.tensors.values()
+    )
+    g = compute.gemm
+    gemm = None if g is None else (g.c, g.a, g.b, g.m_axis, g.n_axes, g.k_axis)
+    return (compute.name, axes, tensors, gemm)
+
+
+def strategy_key(strategy: ScheduleStrategy) -> Tuple:
+    """Hashable identity of one schedule-space point."""
+    return tuple(sorted(strategy.decisions.items()))
+
+
+class Evaluator:
+    """Scores one prepared (already optimized) candidate."""
+
+    #: evaluator family; selects the metrics stage it reports into.
+    kind = "abstract"
+
+    def evaluate(self, candidate: Candidate) -> Evaluation:
+        raise NotImplementedError
+
+    def params_key(self) -> Optional[Tuple]:
+        """Hashable identity of evaluator parameters that change the
+        score (folded into memo keys)."""
+        return None
+
+
+class AnalyticEvaluator(Evaluator):
+    """Static cost model (Sec. 4.6, Eq. (1)/(2))."""
+
+    kind = "analytic"
+
+    def __init__(
+        self,
+        coeffs: Optional["GemmCoeffs"] = None,
+        config: Optional[MachineConfig] = None,
+    ) -> None:
+        # deferred import: repro.autotuner's package init imports the
+        # tuners, which import this package -- a top-level import here
+        # would close that cycle.
+        from ..autotuner.calibrate import default_coeffs
+
+        self.config = config or default_config()
+        self.coeffs = coeffs or default_coeffs(self.config)
+
+    def evaluate(self, candidate: Candidate) -> Evaluation:
+        from ..autotuner.cost_model import predict_kernel
+
+        pred = predict_kernel(candidate.kernel, self.coeffs, self.config)
+        return Evaluation(predicted_cycles=pred.total)
+
+    def params_key(self) -> Tuple:
+        return tuple(sorted(self.coeffs.items()))
+
+
+class SimulatorEvaluator(Evaluator):
+    """Compile and run on the simulated machine.
+
+    ``feeds=None`` generates deterministic synthetic inputs per compute.
+    ``executions`` counts real simulated runs on *this* instance (in
+    parallel batches the counting happens in worker processes, so use
+    the batch metrics there instead).
+    """
+
+    kind = "simulator"
+
+    def __init__(
+        self,
+        feeds: Optional[Dict[str, np.ndarray]] = None,
+        config: Optional[MachineConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.feeds = feeds
+        self.config = config or default_config()
+        self.seed = seed
+        self.executions = 0
+
+    def evaluate(self, candidate: Candidate) -> Evaluation:
+        from ..codegen.executor import CompiledKernel
+
+        feeds = (
+            self.feeds
+            if self.feeds is not None
+            else synthetic_feeds(candidate.compute, self.seed)
+        )
+        ck = CompiledKernel(candidate.kernel, candidate.compute, self.config)
+        self.executions += 1
+        report = ck.run(feeds).report
+        return Evaluation(measured_cycles=report.cycles, report=report)
+
+
+#: process-lifetime memo shared by every MemoizingEvaluator without an
+#: explicit store -- the "repeated strategies across tuners/benches/
+#: library never re-simulate" guarantee.
+_SHARED_MEMO: Dict[Tuple, Evaluation] = {}
+
+
+def clear_shared_memo() -> None:
+    _SHARED_MEMO.clear()
+
+
+def shared_memo_size() -> int:
+    return len(_SHARED_MEMO)
+
+
+class MemoizingEvaluator(Evaluator):
+    """Memo layer over another evaluator.
+
+    The key covers everything that determines a score: the compute
+    signature, the strategy decisions, the machine config, the inner
+    evaluator's parameters, plus a caller-supplied ``salt`` for context
+    the candidate itself cannot express (lowering options, prefetch
+    on/off -- the same (compute, strategy) pair lowers to a different
+    kernel under different options, see the Fig. 10 baseline).
+    """
+
+    def __init__(
+        self,
+        inner: Evaluator,
+        *,
+        store: Optional[MutableMapping[Tuple, Evaluation]] = None,
+        salt: Optional[Tuple] = None,
+    ) -> None:
+        self.inner = inner
+        self.kind = inner.kind
+        self.store = _SHARED_MEMO if store is None else store
+        self.salt = salt
+        self.hits = 0
+
+    def key(self, candidate: Candidate) -> Tuple:
+        return (
+            self.kind,
+            self.inner.params_key(),
+            self.salt,
+            getattr(self.inner, "config", None),
+            compute_signature(candidate.compute),
+            strategy_key(candidate.strategy),
+        )
+
+    def lookup(self, candidate: Candidate) -> Optional[Evaluation]:
+        hit = self.store.get(self.key(candidate))
+        if hit is None:
+            return None
+        self.hits += 1
+        return replace(hit, memoized=True)
+
+    def remember(self, candidate: Candidate, evaluation: Evaluation) -> None:
+        self.store[self.key(candidate)] = replace(evaluation, memoized=False)
+
+    def evaluate(self, candidate: Candidate) -> Evaluation:
+        hit = self.lookup(candidate)
+        if hit is not None:
+            return hit
+        evaluation = self.inner.evaluate(candidate)
+        self.remember(candidate, evaluation)
+        return evaluation

@@ -1,0 +1,85 @@
+"""Per-stage instrumentation of the evaluation engine.
+
+Tab. 3's headline (model-based tuning beats black-box by 350-450x) is
+entirely a statement about where candidate-evaluation time goes, so the
+engine accounts for every stage it owns: enumeration (strategy walk +
+lowering, including pruned strategies), optimization (DMA inference +
+prefetch), prediction (cost-model evaluation) and execution (simulated
+runs).  A single :class:`EngineMetrics` instance is threaded through a
+tuning run and surfaces in :class:`~repro.autotuner.result.TuningResult`
+and the harness tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class StageStats:
+    """Invocation count and wall time of one engine stage."""
+
+    count: int = 0
+    seconds: float = 0.0
+
+    def add(self, seconds: float, count: int = 1) -> None:
+        self.count += count
+        self.seconds += seconds
+
+    def merge(self, other: "StageStats") -> None:
+        self.count += other.count
+        self.seconds += other.seconds
+
+    def describe(self) -> str:
+        return f"{self.count} ({self.seconds:.3f}s)"
+
+
+@dataclass
+class EngineMetrics:
+    """Stage-by-stage accounting of one (or several merged) tuning runs.
+
+    ``enumeration.count`` counts *declared* strategies (legal + pruned);
+    ``optimization``/``prediction``/``execution`` count candidates that
+    actually went through the respective stage.  ``memo_hits`` counts
+    evaluations answered from the shared memo instead of a stage.
+    """
+
+    enumeration: StageStats = field(default_factory=StageStats)
+    optimization: StageStats = field(default_factory=StageStats)
+    prediction: StageStats = field(default_factory=StageStats)
+    execution: StageStats = field(default_factory=StageStats)
+    memo_hits: int = 0
+    workers: int = 1
+
+    def stage_for(self, kind: str) -> StageStats:
+        """The stage an evaluator of the given kind reports into."""
+        return self.prediction if kind == "analytic" else self.execution
+
+    def merge(self, other: "EngineMetrics") -> None:
+        self.enumeration.merge(other.enumeration)
+        self.optimization.merge(other.optimization)
+        self.prediction.merge(other.prediction)
+        self.execution.merge(other.execution)
+        self.memo_hits += other.memo_hits
+        self.workers = max(self.workers, other.workers)
+
+    @classmethod
+    def merged(cls, many: Iterable["EngineMetrics"]) -> "EngineMetrics":
+        out = cls()
+        for m in many:
+            out.merge(m)
+        return out
+
+    def describe(self) -> str:
+        parts = [
+            f"enum {self.enumeration.describe()}",
+            f"opt {self.optimization.describe()}",
+            f"predict {self.prediction.describe()}",
+            f"execute {self.execution.describe()}",
+        ]
+        if self.memo_hits:
+            parts.append(f"memo {self.memo_hits}")
+        if self.workers > 1:
+            parts.append(f"workers {self.workers}")
+        return " | ".join(parts)

@@ -1,0 +1,147 @@
+"""Parallel, order-stable batch evaluation.
+
+Candidate evaluations are independent, so a batch can fan out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (chunked, to amortize
+per-task pickling of kernel IR).  Results are always returned in input
+order and are bit-identical to a serial run -- the simulator is
+deterministic and workers only differ in *where* a candidate is scored,
+never in *how*.
+
+Fallback rules: ``workers<=1`` (or a single pending candidate) runs
+serially in-process; if the pool cannot be created or breaks (platforms
+without usable multiprocessing, unpicklable state), the batch silently
+degrades to the serial path rather than failing the tuning run.
+
+``set_default_workers`` is the process-wide knob the CLI's
+``--workers`` flag sets; call sites that pass ``workers=None`` inherit
+it, so parallelism reaches every tuner without threading a parameter
+through the whole harness.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..scheduler.enumerate import Candidate
+from .evaluators import Evaluation, Evaluator, MemoizingEvaluator
+from .metrics import EngineMetrics
+
+_DEFAULT_WORKERS = 1
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the process-wide default worker count (used by ``--workers``)."""
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = max(1, int(workers))
+
+
+def default_workers() -> int:
+    return _DEFAULT_WORKERS
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    return _DEFAULT_WORKERS if workers is None else max(1, int(workers))
+
+
+# The evaluator is shipped to each worker once (pool initializer), not
+# per task; tasks then carry only (index, candidate) chunks.
+_WORKER_EVALUATOR: Optional[Evaluator] = None
+
+
+def _init_worker(evaluator: Evaluator) -> None:
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = evaluator
+
+
+def _evaluate_chunk(
+    chunk: Sequence[Tuple[int, Candidate]]
+) -> List[Tuple[int, Evaluation]]:
+    assert _WORKER_EVALUATOR is not None
+    return [(i, _WORKER_EVALUATOR.evaluate(c)) for i, c in chunk]
+
+
+def _run_parallel(
+    todo: Sequence[Tuple[int, Candidate]],
+    evaluator: Evaluator,
+    workers: int,
+    chunk_size: Optional[int],
+) -> Optional[List[Tuple[int, Evaluation]]]:
+    """Pool dispatch; ``None`` means "fall back to serial"."""
+    try:
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else None)
+        nw = min(workers, len(todo))
+        size = chunk_size or max(1, math.ceil(len(todo) / (nw * 4)))
+        chunks = [
+            todo[i : i + size] for i in range(0, len(todo), size)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=nw,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(evaluator,),
+        ) as pool:
+            futures = [pool.submit(_evaluate_chunk, ch) for ch in chunks]
+            out: List[Tuple[int, Evaluation]] = []
+            for fut in futures:
+                out.extend(fut.result())
+        return out
+    except (BrokenProcessPool, OSError, ImportError, pickle.PicklingError):
+        return None
+
+
+def evaluate_batch(
+    candidates: Iterable[Candidate],
+    evaluator: Evaluator,
+    *,
+    workers: Optional[int] = None,
+    metrics: Optional[EngineMetrics] = None,
+    chunk_size: Optional[int] = None,
+) -> List[Evaluation]:
+    """Score every candidate; ``results[i]`` belongs to ``candidates[i]``.
+
+    A :class:`MemoizingEvaluator` is split around the dispatch: hits are
+    answered in-process before any fan-out, misses are evaluated (in
+    parallel when ``workers > 1``) with the inner evaluator and written
+    back to the memo afterwards, so the memo stays coherent in the
+    parent even though workers cannot share it.
+    """
+    cands = list(candidates)
+    n = resolve_workers(workers)
+    memo = evaluator if isinstance(evaluator, MemoizingEvaluator) else None
+    inner = memo.inner if memo is not None else evaluator
+
+    results: List[Optional[Evaluation]] = [None] * len(cands)
+    todo: List[Tuple[int, Candidate]] = []
+    for i, cand in enumerate(cands):
+        hit = memo.lookup(cand) if memo is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            todo.append((i, cand))
+    if metrics is not None and memo is not None:
+        metrics.memo_hits += len(cands) - len(todo)
+
+    t0 = time.perf_counter()
+    if todo:
+        done = None
+        if n > 1 and len(todo) > 1:
+            done = _run_parallel(todo, inner, n, chunk_size)
+        if done is None:
+            done = [(i, inner.evaluate(c)) for i, c in todo]
+        for i, evaluation in done:
+            results[i] = evaluation
+            if memo is not None:
+                memo.remember(cands[i], evaluation)
+    if metrics is not None:
+        metrics.stage_for(inner.kind).add(
+            time.perf_counter() - t0, count=len(todo)
+        )
+        metrics.workers = max(metrics.workers, n)
+    return results  # type: ignore[return-value]

@@ -1,0 +1,142 @@
+"""Candidate preparation: the single owner of enumerate -> optimize.
+
+Before this layer existed, ``autotuner/model_tuner.py`` and
+``autotuner/blackbox.py`` each hand-rolled the same
+``iter_candidates`` -> ``infer_dma`` -> ``apply_prefetch`` loop and
+``harness/runner.py`` re-implemented the compile path on the side.
+:class:`CandidatePipeline` is now the one place a schedule strategy
+becomes an optimized, executable kernel; every caller (both tuners, the
+operator runners, the runtime library's cached-replay path) routes
+through it, and it times each stage into an
+:class:`~repro.engine.metrics.EngineMetrics`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, Optional
+
+from ..dsl.compute import ComputeDef
+from ..dsl.schedule import ScheduleSpace, ScheduleStrategy
+from ..errors import TuningError
+from ..machine.config import MachineConfig, default_config
+from ..optimizer.dma_inference import infer_dma
+from ..optimizer.prefetch import apply_prefetch
+from ..primitives.registry import PrimitiveRegistry
+from ..scheduler.enumerate import Candidate, EnumerationStats, iter_candidates
+from ..scheduler.lower import LoweringOptions, lower_strategy
+from .metrics import EngineMetrics
+
+
+def clip_strategy(
+    strategy: ScheduleStrategy, compute: ComputeDef
+) -> ScheduleStrategy:
+    """Clip tile decisions to a (smaller) shard's extents."""
+    decisions = dict(strategy.decisions)
+    for name, axis in compute.axes.items():
+        key = f"tile:{name}"
+        if key in decisions:
+            decisions[key] = min(int(decisions[key]), axis.extent)  # type: ignore[arg-type]
+    return ScheduleStrategy(decisions)
+
+
+class CandidatePipeline:
+    """Prepares candidates of one operator: enumerate legal strategies,
+    lower them, run the optimizer passes (DMA inference + hoisting,
+    automatic latency hiding)."""
+
+    def __init__(
+        self,
+        compute: ComputeDef,
+        space: Optional[ScheduleSpace] = None,
+        *,
+        options: Optional[LoweringOptions] = None,
+        config: Optional[MachineConfig] = None,
+        registry: Optional[PrimitiveRegistry] = None,
+        prefetch: bool = True,
+        metrics: Optional[EngineMetrics] = None,
+    ) -> None:
+        self.compute = compute
+        self.space = space
+        self.options = options
+        self.config = config or default_config()
+        self.registry = registry
+        self.prefetch = prefetch
+        self.metrics = EngineMetrics() if metrics is None else metrics
+        self.stats = EnumerationStats()
+
+    # --- single-strategy paths -------------------------------------------
+    def optimize(self, candidate: Candidate) -> Candidate:
+        """Optimizer passes over a raw lowered candidate; returns a new
+        candidate whose kernel is ready for prediction or execution."""
+        t0 = time.perf_counter()
+        kernel = infer_dma(candidate.kernel, candidate.compute, self.config)
+        if self.prefetch:
+            kernel = apply_prefetch(kernel)
+        self.metrics.optimization.add(time.perf_counter() - t0)
+        return Candidate(candidate.strategy, kernel, candidate.compute)
+
+    def prepare(
+        self, strategy: ScheduleStrategy, *, clip: bool = False
+    ) -> Candidate:
+        """Lower + optimize one explicit strategy (the cached-replay
+        path: re-materialize a stored winner without enumeration)."""
+        if clip:
+            strategy = clip_strategy(strategy, self.compute)
+        t0 = time.perf_counter()
+        kernel = lower_strategy(
+            self.compute, strategy, options=self.options,
+            config=self.config, registry=self.registry,
+        )
+        self.metrics.enumeration.add(time.perf_counter() - t0)
+        return self.optimize(Candidate(strategy, kernel, self.compute))
+
+    # --- space enumeration ------------------------------------------------
+    def candidates(self, limit: Optional[int] = None) -> Iterator[Candidate]:
+        """Lazily yield every legal, optimized candidate of the space
+        (at most ``limit`` of them)."""
+        if self.space is None:
+            raise TuningError(
+                f"pipeline for {self.compute.name!r} has no schedule space"
+            )
+        it = iter_candidates(
+            self.compute, self.space, options=self.options,
+            config=self.config, registry=self.registry, stats=self.stats,
+        )
+        declared_seen = 0
+        legal = 0
+        sentinel = object()
+        while True:
+            t0 = time.perf_counter()
+            raw = next(it, sentinel)
+            self.metrics.enumeration.add(
+                time.perf_counter() - t0,
+                count=self.stats.declared - declared_seen,
+            )
+            declared_seen = self.stats.declared
+            if raw is sentinel:
+                return
+            legal += 1
+            yield self.optimize(raw)
+            if limit is not None and legal >= limit:
+                return
+
+
+def compile_strategy(
+    compute: ComputeDef,
+    strategy: ScheduleStrategy,
+    config: Optional[MachineConfig] = None,
+    *,
+    options: Optional[LoweringOptions] = None,
+    prefetch: bool = True,
+    clip: bool = True,
+):
+    """One strategy -> executable kernel (clipped to the compute's
+    extents by default, as the sharded runners need)."""
+    from ..codegen.executor import CompiledKernel
+
+    pipeline = CandidatePipeline(
+        compute, options=options, config=config, prefetch=prefetch
+    )
+    candidate = pipeline.prepare(strategy, clip=clip)
+    return CompiledKernel(candidate.kernel, compute, pipeline.config)

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..autotuner import tune_blackbox, tune_with_model
+from ..engine.metrics import EngineMetrics
 from ..errors import WorkloadError
 from ..machine.config import MachineConfig, default_config
 from ..ops import conv_implicit
@@ -36,7 +37,7 @@ from .runner import (
     run_conv_winograd,
     run_gemm,
 )
-from .report import Table, speedup_summary
+from .report import Table, speedup_summary, stage_note
 from .scales import Scale, get_scale
 
 BASELINE_OF = {"implicit": "swdnn", "winograd": "manual", "explicit": "manual"}
@@ -381,6 +382,7 @@ class TuningTimeRow:
     space_size: int
     blackbox_seconds: float
     model_seconds: float
+    model_metrics: Optional[EngineMetrics] = None
 
     @property
     def speedup(self) -> float:
@@ -413,6 +415,12 @@ class TuningTimeResult:
                 f"black-box {bb:.1f}s vs swATOP {mm:.2f}s "
                 f"({bb / mm:.0f}x)"
             )
+            merged = EngineMetrics.merged(
+                r.model_metrics for r in rows if r.model_metrics is not None
+            )
+            note = stage_note(merged, label=f"{net} model stages")
+            if note is not None and merged.enumeration.count:
+                t.note(note)
         t.note(
             "paper: spaces 4068/7064/5112; black-box 47h50m/83h6m/60h10m "
             "vs swATOP 6m21s/14m7s/9m53s (454x/353x/365x)"
@@ -455,6 +463,7 @@ def tab3_tuning_time(
                     space_size=space.size(),
                     blackbox_seconds=bb_seconds,
                     model_seconds=mm.wall_seconds,
+                    model_metrics=mm.metrics,
                 )
             )
     return TuningTimeResult(rows, scale)

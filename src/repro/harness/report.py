@@ -9,7 +9,9 @@ paper-vs-reproduction comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..engine.metrics import EngineMetrics
 
 
 @dataclass
@@ -59,6 +61,17 @@ def _fmt(value: Any) -> str:
             return f"{value:.3g}"
         return f"{value:.2f}"
     return str(value)
+
+
+def stage_note(
+    metrics: Optional[EngineMetrics], label: str = "engine"
+) -> Optional[str]:
+    """One table-note line of per-stage engine accounting: counts and
+    wall time for enumeration, optimization, prediction and execution
+    (the where-does-tuning-time-go breakdown behind Tab. 3)."""
+    if metrics is None:
+        return None
+    return f"{label}: {metrics.describe()}"
 
 
 def speedup_summary(speedups: Iterable[float]) -> Dict[str, float]:

@@ -19,16 +19,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..autotuner import TuningResult, tune_blackbox, tune_with_model
 from ..baselines import swdnn, xmath
-from ..codegen import compile_candidate
 from ..codegen.executor import CompiledKernel
 from ..dsl.compute import ComputeDef
 from ..dsl.schedule import ScheduleStrategy
+# candidate preparation/compilation is owned by the engine; the names
+# stay importable from here for existing callers
+from ..engine import clip_strategy, compile_strategy
 from ..errors import TuningError, WorkloadError
 from ..machine.config import MachineConfig, default_config
 from ..machine.spm import partition_extent
@@ -37,8 +39,19 @@ from ..ops import conv_explicit, conv_implicit, conv_winograd
 from ..ops.conv_common import ConvParams, pad_input
 from ..ops.gemm import make_compute as gemm_compute
 from ..ops.gemm import make_space as gemm_space
-from ..scheduler.enumerate import Candidate
-from ..scheduler.lower import lower_strategy
+
+__all__ = [
+    "CONV_RUNNERS",
+    "OperatorRun",
+    "clip_strategy",
+    "compile_strategy",
+    "run_conv_explicit",
+    "run_conv_implicit",
+    "run_conv_strided",
+    "run_conv_winograd",
+    "run_gemm",
+    "shard_conv",
+]
 
 
 @dataclass
@@ -48,34 +61,14 @@ class OperatorRun:
     report: SimReport
     output: Optional[np.ndarray] = None
     tuning: Optional[TuningResult] = None
+    #: strategies actually used per phase of a strided decomposition
+    #: (None for single-phase runs) -- what the library's strided cache
+    #: persists.
+    phase_strategies: Optional[List[ScheduleStrategy]] = None
 
     @property
     def cycles(self) -> float:
         return self.report.cycles
-
-
-# ---------------------------------------------------------------------------
-# strategy utilities
-# ---------------------------------------------------------------------------
-def clip_strategy(strategy: ScheduleStrategy, compute: ComputeDef) -> ScheduleStrategy:
-    """Clip tile decisions to a (smaller) shard's extents."""
-    decisions = dict(strategy.decisions)
-    for name, axis in compute.axes.items():
-        key = f"tile:{name}"
-        if key in decisions:
-            decisions[key] = min(int(decisions[key]), axis.extent)  # type: ignore[arg-type]
-    return ScheduleStrategy(decisions)
-
-
-def compile_strategy(
-    compute: ComputeDef,
-    strategy: ScheduleStrategy,
-    config: Optional[MachineConfig] = None,
-) -> CompiledKernel:
-    cfg = config or default_config()
-    strategy = clip_strategy(strategy, compute)
-    kernel = lower_strategy(compute, strategy, config=cfg)
-    return compile_candidate(Candidate(strategy, kernel, compute), config=cfg)
 
 
 def _tune(
@@ -453,11 +446,17 @@ def run_conv_strided(
     quick: bool = True,
     config: Optional[MachineConfig] = None,
     blackbox_limit: Optional[int] = None,
+    strategies: Optional[Sequence[ScheduleStrategy]] = None,
 ) -> OperatorRun:
     """Strided convolution: phase-decompose into unit-stride convs
     (see :mod:`repro.ops.strided`), run each through the tuned
     pipeline, and sum.  Phases execute back to back on the chip, so
-    reports merge serially."""
+    reports merge serially.
+
+    ``strategies`` injects one pre-tuned strategy per phase (the
+    library's cached-replay path); the strategies actually used are
+    returned on ``OperatorRun.phase_strategies`` either way.
+    """
     from ..ops import strided
 
     cfg = config or default_config()
@@ -466,23 +465,39 @@ def run_conv_strided(
     if method not in ("implicit", "explicit"):
         raise WorkloadError(f"strided decomposition over {method!r} unsupported")
     runner = CONV_RUNNERS[method]
+    phases = strided.decompose(params)
+    if strategies is not None and len(strategies) != len(phases):
+        raise WorkloadError(
+            f"{len(strategies)} injected strategies for {len(phases)} phases"
+        )
     out = np.zeros(params.output_shape, np.float32)
     reports: List[SimReport] = []
     tuning: Optional[TuningResult] = None
-    for phase in strided.decompose(params):
+    used: List[Optional[ScheduleStrategy]] = []
+    for i, phase in enumerate(phases):
         xs = strided.phase_input(x, params, phase)
         ws = strided.phase_weight(w, params, phase)
+        injected = strategies[i] if strategies is not None else None
         run = runner(
             phase.params, xs, ws, library=library, tuner=tuner,
             quick=quick, config=cfg, collect_output=True,
-            blackbox_limit=blackbox_limit,
+            blackbox_limit=blackbox_limit, strategy=injected,
         )
         out += run.output
         reports.append(run.report)
+        if injected is not None:
+            used.append(injected)
+        elif run.tuning is not None:
+            used.append(run.tuning.best.candidate.strategy)
+        else:
+            used.append(None)
         if tuning is None:
             tuning = run.tuning
     return OperatorRun(
         report=SimReport.merge_serial(reports, detail=f"conv_strided[{method}]"),
         output=out,
         tuning=tuning,
+        phase_strategies=(
+            list(used) if all(s is not None for s in used) else None
+        ),
     )

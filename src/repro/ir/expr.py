@@ -113,6 +113,12 @@ class _FrozenDict(dict):
     def __hash__(self) -> int:  # type: ignore[override]
         return hash(frozenset(self.items()))
 
+    def __reduce__(self):
+        # default dict-subclass pickling replays __setitem__, which is
+        # blocked; rebuild through the constructor instead (needed to
+        # ship kernels to evaluation worker processes)
+        return (self.__class__, (dict(self),))
+
     def _blocked(self, *args, **kwargs):
         raise IrError("AffineExpr coefficients are immutable")
 

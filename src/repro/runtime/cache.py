@@ -92,7 +92,27 @@ class KernelCache:
             self.hits += 1
         return entry
 
-    def put(self, key: str, entry: TunedEntry) -> None:
+    def put(
+        self, key: str, entry: TunedEntry, *, overwrite: bool = False
+    ) -> None:
+        """Store a tuned strategy.
+
+        Re-putting the *same* strategy under a key is always allowed
+        (it just refreshes the cycle numbers), but replacing a key with
+        a *different* strategy requires ``overwrite=True`` -- two
+        concurrent tuning runs racing on one key would otherwise
+        silently clobber each other's winners.
+        """
+        existing = self._entries.get(key)
+        if (
+            existing is not None
+            and not overwrite
+            and dict(existing.strategy.decisions) != dict(entry.strategy.decisions)
+        ):
+            raise CacheError(
+                f"cache key {key!r} already holds a different strategy "
+                f"(pass overwrite=True to replace it)"
+            )
         self._entries[key] = entry
 
     def keys(self):
@@ -102,6 +122,8 @@ class KernelCache:
     def save(self, path: Union[str, Path]) -> None:
         payload = {
             "version": self.VERSION,
+            "hits": self.hits,
+            "misses": self.misses,
             "entries": {k: e.to_json() for k, e in self._entries.items()},
         }
         Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
@@ -118,6 +140,10 @@ class KernelCache:
                 f"!= {cls.VERSION}"
             )
         cache = cls()
+        # counters survive the round-trip (older files without them
+        # load as zero)
+        cache.hits = int(payload.get("hits", 0))
+        cache.misses = int(payload.get("misses", 0))
         for key, data in payload.get("entries", {}).items():
             cache._entries[key] = TunedEntry.from_json(data)
         return cache

@@ -16,11 +16,11 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..engine import compile_strategy
 from ..errors import WorkloadError
 from ..harness.runner import (
     CONV_RUNNERS,
     OperatorRun,
-    compile_strategy,
     run_gemm,
     shard_conv,
     _shard_input,
@@ -147,16 +147,42 @@ class AtopLibrary:
     ) -> OperatorRun:
         """Strided convolutions go through the phase decomposition
         (:mod:`repro.ops.strided`); each unit-stride phase hits the
-        ordinary tuned path.  Implicit needs enough input channels."""
+        ordinary tuned path.  Implicit needs enough input channels.
+
+        The winning per-phase strategies are cached under
+        ``conv:strided:`` keys, so repeat strided calls replay without
+        re-tuning, exactly like the unit-stride path.
+        """
         from ..harness.runner import run_conv_strided
+        from ..ops import strided
         from ..ops.conv_implicit import MIN_NI
 
         method = method or ("implicit" if params.ni >= MIN_NI else "explicit")
-        run = run_conv_strided(
-            params, x, w, library="swatop", method=method,
-            quick=self.quick, config=self.config,
-        )
-        self.stats.tuned += 1
+        n_phases = len(strided.decompose(params))
+        keys = [
+            f"conv:strided:{method}:{params.describe()}:p{i}"
+            for i in range(n_phases)
+        ]
+        entries = [self.cache.get(k) for k in keys]
+        if all(e is not None for e in entries):
+            run = run_conv_strided(
+                params, x, w, library="swatop", method=method,
+                quick=self.quick, config=self.config,
+                strategies=[e.strategy for e in entries],
+            )
+            self.stats.cache_hits += 1
+        else:
+            run = run_conv_strided(
+                params, x, w, library="swatop", method=method,
+                quick=self.quick, config=self.config,
+            )
+            if run.phase_strategies is not None:
+                for key, strategy in zip(keys, run.phase_strategies):
+                    self.cache.put(
+                        key, TunedEntry(strategy=strategy), overwrite=True
+                    )
+                self._autosave()
+            self.stats.tuned += 1
         self.stats.simulated_cycles += run.cycles
         return run
 

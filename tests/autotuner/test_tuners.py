@@ -96,6 +96,60 @@ class TestBlackbox:
         assert full.best.measured_cycles == min(measured)
 
 
+class TestEngineIntegration:
+    def test_blackbox_parallel_matches_serial(self):
+        cd, sp = small_space(128, 128, 128)
+        serial = tune_blackbox(cd, sp, workers=1, keep_scores=True)
+        par = tune_blackbox(cd, sp, workers=2, keep_scores=True)
+        assert (
+            par.best.candidate.strategy.decisions
+            == serial.best.candidate.strategy.decisions
+        )
+        assert [s.measured_cycles for s in par.scores] == [
+            s.measured_cycles for s in serial.scores
+        ]
+
+    def test_model_parallel_matches_serial(self):
+        cd, sp = small_space(128, 128, 128)
+        serial = tune_with_model(cd, sp, workers=1, keep_scores=True)
+        par = tune_with_model(cd, sp, workers=2, keep_scores=True)
+        assert (
+            par.best.candidate.strategy.decisions
+            == serial.best.candidate.strategy.decisions
+        )
+        assert [s.predicted_cycles for s in par.scores] == [
+            s.predicted_cycles for s in serial.scores
+        ]
+
+    def test_measured_scores_carry_reports(self):
+        cd, sp = small_space()
+        result = tune_with_model(cd, sp, top_k=3, keep_scores=True)
+        measured = [s for s in result.scores if s.measured_cycles is not None]
+        assert measured
+        for s in measured:
+            assert s.report is not None
+            assert s.report.cycles == s.measured_cycles
+        assert result.best.report is result.report
+
+    def test_metrics_populated(self):
+        cd, sp = small_space()
+        result = tune_with_model(cd, sp)
+        m = result.metrics
+        assert m is not None
+        assert m.enumeration.count == result.space_size
+        assert m.optimization.count == result.legal_count
+        assert m.prediction.count + m.memo_hits >= result.evaluated
+        assert "engine:" in result.summary()
+
+    def test_blackbox_metrics_count_executions(self):
+        cd, sp = small_space(128, 128, 128)
+        result = tune_blackbox(cd, sp)
+        m = result.metrics
+        assert m is not None
+        assert m.execution.count == result.evaluated
+        assert m.prediction.count == 0
+
+
 class TestModelVsBlackbox:
     def test_model_close_to_brute_force(self):
         """The Fig. 9 property at test scale: the model's pick is

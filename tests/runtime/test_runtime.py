@@ -65,6 +65,53 @@ class TestKernelCache:
         with pytest.raises(CacheError):
             TunedEntry.from_json({"nope": 1})
 
+    def test_counters_survive_roundtrip(self, tmp_path):
+        c = KernelCache()
+        c.put("k", sample_entry())
+        c.get("k")
+        c.get("k")
+        c.get("nope")
+        path = tmp_path / "cache.json"
+        c.save(path)
+        loaded = KernelCache.load(path)
+        assert loaded.hits == 2
+        assert loaded.misses == 1
+
+    def test_old_file_without_counters_loads_zeroed(self, tmp_path):
+        c = KernelCache()
+        c.put("k", sample_entry())
+        path = tmp_path / "cache.json"
+        c.save(path)
+        import json
+
+        payload = json.loads(path.read_text())
+        del payload["hits"], payload["misses"]
+        path.write_text(json.dumps(payload))
+        loaded = KernelCache.load(path)
+        assert loaded.hits == 0 and loaded.misses == 0
+        assert loaded.get("k") is not None
+
+    def test_duplicate_put_same_strategy_ok(self):
+        c = KernelCache()
+        c.put("k", sample_entry())
+        refreshed = sample_entry()
+        refreshed.measured_cycles = 99.0
+        c.put("k", refreshed)  # same decisions: allowed
+        assert c._entries["k"].measured_cycles == 99.0
+
+    def test_duplicate_put_different_strategy_rejected(self):
+        c = KernelCache()
+        c.put("k", sample_entry())
+        other = TunedEntry(
+            strategy=ScheduleStrategy(
+                {"tile:M": 128, "order": ("M", "N", "K"), "vec_dim": "M"}
+            )
+        )
+        with pytest.raises(CacheError):
+            c.put("k", other)
+        c.put("k", other, overwrite=True)
+        assert c._entries["k"].strategy["tile:M"] == 128
+
 
 class TestAtopLibrary:
     @pytest.fixture
@@ -139,6 +186,21 @@ class TestStridedThroughLibrary:
         np.testing.assert_allclose(
             run.output, conv2d_reference(x, w, params), rtol=1e-3, atol=1e-2
         )
+
+    def test_strided_repeat_call_hits_cache(self):
+        params = ConvParams(batch=4, ni=16, no=16, ri=14, ci=14,
+                            kr=3, kc=3, pad=1, stride=2)
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(params.input_shape).astype(np.float32)
+        w = rng.standard_normal(params.weight_shape).astype(np.float32)
+        lib = AtopLibrary(quick=True)
+        first = lib.conv2d(x, w, params)
+        assert lib.stats.tuned == 1
+        assert any(k.startswith("conv:strided:") for k in lib.cache.keys())
+        second = lib.conv2d(x, w, params)
+        assert lib.stats.tuned == 1  # no re-tuning
+        assert lib.stats.cache_hits == 1
+        np.testing.assert_array_equal(first.output, second.output)
 
     def test_strided_layers_in_network_use_tensorized_path(self):
         res = run_network("resnet", batch=8, scale=16, max_layers=4)
