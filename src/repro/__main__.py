@@ -72,11 +72,26 @@ def main(argv=None) -> int:
         help="evaluate tuning candidates on N worker processes "
              "(default: serial; every tuner in the run inherits this)",
     )
+    parser.add_argument(
+        "--dump-ir",
+        nargs="?",
+        const="all",
+        default=None,
+        metavar="PASS",
+        help="print kernel IR around pipeline passes to stderr "
+             "(no value: every pass; with a value: only that pass, "
+             "e.g. --dump-ir prefetch); only the first couple of "
+             "pipeline runs are dumped to keep sweeps readable",
+    )
     args = parser.parse_args(argv)
     if args.workers is not None:
         from .engine import set_default_workers
 
         set_default_workers(args.workers)
+    if args.dump_ir is not None:
+        from .passes import set_dump_ir
+
+        set_dump_ir(args.dump_ir)
     scale = get_scale(args.scale)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:

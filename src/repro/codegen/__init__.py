@@ -3,8 +3,9 @@
 from typing import Optional
 
 from ..machine.config import MachineConfig, default_config
-from ..optimizer.dma_inference import infer_dma
-from ..optimizer.prefetch import apply_prefetch
+from ..passes.base import SPM_PLANNED, PassContext
+from ..passes.manager import PassManager
+from ..passes.optimize import optimize_passes
 from ..scheduler.enumerate import Candidate
 from .c_emitter import emit_c
 from .executor import CompiledKernel, RunResult
@@ -16,17 +17,20 @@ def compile_candidate(
     prefetch: bool = True,
     config: Optional[MachineConfig] = None,
 ) -> CompiledKernel:
-    """Run the optimizer pipeline on a raw candidate and bind it to the
-    machine: DMA inference (+hoisting), then automatic latency hiding.
+    """Run the optimizer pass pipeline on a raw candidate and bind it
+    to the machine: DMA inference (+hoisting), then automatic latency
+    hiding -- verified after every stage.
 
     ``prefetch=False`` builds the Fig. 10 baseline (no double
     buffering); note the candidate must then have been lowered with
     ``LoweringOptions(double_buffer=False)`` for a fair SPM budget.
     """
     cfg = config or default_config()
-    kernel = infer_dma(candidate.kernel, candidate.compute, cfg)
-    if prefetch:
-        kernel = apply_prefetch(kernel)
+    ctx = PassContext(compute=candidate.compute, config=cfg)
+    ctx.established.add(SPM_PLANNED)  # raw candidates passed plan-spm
+    kernel = PassManager(optimize_passes(prefetch=prefetch)).run(
+        ctx, candidate.kernel
+    )
     return CompiledKernel(kernel, candidate.compute, cfg)
 
 

@@ -77,17 +77,27 @@ class CompiledKernel:
 
     def _validate(self) -> None:
         from ..ir.visitors import find_all
+        from ..passes.verifier import check_kernel
 
         for dma in find_all(self.kernel, DmaCgNode):
             if dma.geometry is None:
                 raise CodegenError(
                     "kernel has un-inferred DMA nodes; run "
-                    "optimizer.infer_dma before building a CompiledKernel"
+                    "the optimizer passes before building a CompiledKernel"
                 )
             if dma.access.buffer not in self.compute.tensors:
                 raise CodegenError(
                     f"DMA references unknown tensor {dma.access.buffer!r}"
                 )
+        # full structural verification: an executable kernel must hold
+        # every invariant of the pass pipeline
+        violations = check_kernel(
+            self.kernel, compute=self.compute, config=self.config
+        )
+        if violations:
+            raise CodegenError(
+                "kernel fails IR verification: " + "; ".join(violations)
+            )
 
     # ------------------------------------------------------------------
     def run(self, feeds: Dict[str, np.ndarray]) -> RunResult:

@@ -13,7 +13,7 @@ and the harness tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Dict, Iterable
 
 
 @dataclass
@@ -39,30 +39,43 @@ class StageStats:
 class EngineMetrics:
     """Stage-by-stage accounting of one (or several merged) tuning runs.
 
-    ``enumeration.count`` counts *declared* strategies (legal + pruned);
+    ``enumeration.count`` counts *declared* strategies (legal + pruned)
+    and its time is the pure space walk; ``lowering`` is the pass
+    pipeline that turns each strategy into raw IR (previously folded
+    into enumeration, mis-charging replay compiles);
     ``optimization``/``prediction``/``execution`` count candidates that
     actually went through the respective stage.  ``memo_hits`` counts
     evaluations answered from the shared memo instead of a stage.
+    ``passes`` breaks lowering + optimization down per named IR pass.
     """
 
     enumeration: StageStats = field(default_factory=StageStats)
+    lowering: StageStats = field(default_factory=StageStats)
     optimization: StageStats = field(default_factory=StageStats)
     prediction: StageStats = field(default_factory=StageStats)
     execution: StageStats = field(default_factory=StageStats)
     memo_hits: int = 0
     workers: int = 1
+    passes: Dict[str, StageStats] = field(default_factory=dict)
 
     def stage_for(self, kind: str) -> StageStats:
         """The stage an evaluator of the given kind reports into."""
         return self.prediction if kind == "analytic" else self.execution
 
+    def record_pass(self, name: str, seconds: float) -> None:
+        """Credit one execution of a named IR pass."""
+        self.passes.setdefault(name, StageStats()).add(seconds)
+
     def merge(self, other: "EngineMetrics") -> None:
         self.enumeration.merge(other.enumeration)
+        self.lowering.merge(other.lowering)
         self.optimization.merge(other.optimization)
         self.prediction.merge(other.prediction)
         self.execution.merge(other.execution)
         self.memo_hits += other.memo_hits
         self.workers = max(self.workers, other.workers)
+        for name, stats in other.passes.items():
+            self.passes.setdefault(name, StageStats()).merge(stats)
 
     @classmethod
     def merged(cls, many: Iterable["EngineMetrics"]) -> "EngineMetrics":
@@ -74,6 +87,7 @@ class EngineMetrics:
     def describe(self) -> str:
         parts = [
             f"enum {self.enumeration.describe()}",
+            f"lower {self.lowering.describe()}",
             f"opt {self.optimization.describe()}",
             f"predict {self.prediction.describe()}",
             f"execute {self.execution.describe()}",
@@ -83,3 +97,12 @@ class EngineMetrics:
         if self.workers > 1:
             parts.append(f"workers {self.workers}")
         return " | ".join(parts)
+
+    def describe_passes(self) -> str:
+        """Per-pass breakdown of the lowering/optimization pipelines."""
+        if not self.passes:
+            return "(no passes recorded)"
+        return " | ".join(
+            f"{name} {stats.describe()}"
+            for name, stats in self.passes.items()
+        )

@@ -1,4 +1,4 @@
-"""Candidate preparation: the single owner of enumerate -> optimize.
+"""Candidate preparation: the single owner of enumerate -> lower -> optimize.
 
 Before this layer existed, ``autotuner/model_tuner.py`` and
 ``autotuner/blackbox.py`` each hand-rolled the same
@@ -7,12 +7,21 @@ Before this layer existed, ``autotuner/model_tuner.py`` and
 :class:`CandidatePipeline` is now the one place a schedule strategy
 becomes an optimized, executable kernel; every caller (both tuners, the
 operator runners, the runtime library's cached-replay path) routes
-through it, and it times each stage into an
-:class:`~repro.engine.metrics.EngineMetrics`.
+through it.
+
+Both halves run on :class:`~repro.passes.manager.PassManager`
+instances -- the lowering stages (decode-strategy / build-loop-nest /
+plan-spm) and the optimizer stages (infer-dma / hoist-dma / prefetch /
+analyze-boundary) -- so every consumer inherits per-pass timing and the
+interleaved structural verifier.  Wall time lands in distinct
+:class:`~repro.engine.metrics.EngineMetrics` stages: ``enumeration``
+(the pure space walk), ``lowering`` (strategy -> raw IR, including
+pruned strategies) and ``optimization``.
 """
 
 from __future__ import annotations
 
+import numbers
 import time
 from typing import Iterator, Optional
 
@@ -20,30 +29,47 @@ from ..dsl.compute import ComputeDef
 from ..dsl.schedule import ScheduleSpace, ScheduleStrategy
 from ..errors import TuningError
 from ..machine.config import MachineConfig, default_config
-from ..optimizer.dma_inference import infer_dma
-from ..optimizer.prefetch import apply_prefetch
+from ..passes.base import SPM_PLANNED, PassContext
+from ..passes.lowering import lowering_passes
+from ..passes.manager import PassManager
+from ..passes.optimize import optimize_passes
 from ..primitives.registry import PrimitiveRegistry
 from ..scheduler.enumerate import Candidate, EnumerationStats, iter_candidates
-from ..scheduler.lower import LoweringOptions, lower_strategy
+from ..scheduler.lower import LoweringOptions
 from .metrics import EngineMetrics
 
 
 def clip_strategy(
     strategy: ScheduleStrategy, compute: ComputeDef
 ) -> ScheduleStrategy:
-    """Clip tile decisions to a (smaller) shard's extents."""
+    """Clip tile decisions to a (smaller) shard's extents.
+
+    Non-integer tile decisions (a symbolic placeholder, a stray string)
+    are left untouched -- the lowering's own legality checks own those.
+    A tile decision naming an axis the compute does not have is a
+    caller bug (wrong strategy replayed onto the wrong operator) and
+    raises :class:`TuningError` instead of silently surviving the clip.
+    """
     decisions = dict(strategy.decisions)
-    for name, axis in compute.axes.items():
-        key = f"tile:{name}"
-        if key in decisions:
-            decisions[key] = min(int(decisions[key]), axis.extent)  # type: ignore[arg-type]
+    for key, value in strategy.decisions.items():
+        if not key.startswith("tile:"):
+            continue
+        axis = key[len("tile:"):]
+        if axis not in compute.axes:
+            raise TuningError(
+                f"strategy tile decision {key!r} names no axis of "
+                f"{compute.name!r} (axes: {sorted(compute.axes)})"
+            )
+        if not isinstance(value, numbers.Integral) or isinstance(value, bool):
+            continue
+        decisions[key] = min(int(value), compute.axes[axis].extent)
     return ScheduleStrategy(decisions)
 
 
 class CandidatePipeline:
     """Prepares candidates of one operator: enumerate legal strategies,
-    lower them, run the optimizer passes (DMA inference + hoisting,
-    automatic latency hiding)."""
+    lower them through the verified pass pipeline, run the optimizer
+    passes (DMA inference + hoisting, automatic latency hiding)."""
 
     def __init__(
         self,
@@ -64,16 +90,37 @@ class CandidatePipeline:
         self.prefetch = prefetch
         self.metrics = EngineMetrics() if metrics is None else metrics
         self.stats = EnumerationStats()
+        self.lowerer = PassManager(
+            lowering_passes(), metrics=self.metrics, stage="lowering"
+        )
+        self.optimizer = PassManager(
+            optimize_passes(prefetch=prefetch),
+            metrics=self.metrics,
+            stage="optimization",
+        )
+
+    def _context(self, strategy: Optional[ScheduleStrategy]) -> PassContext:
+        return PassContext(
+            compute=self.compute,
+            config=self.config,
+            strategy=strategy,
+            options=self.options,
+            registry=self.registry,
+        )
+
+    def _lower(self, strategy: ScheduleStrategy):
+        """Strategy -> raw kernel IR via the lowering manager (charges
+        ``metrics.lowering``, also for strategies that prune)."""
+        return self.lowerer.run(self._context(strategy))
 
     # --- single-strategy paths -------------------------------------------
     def optimize(self, candidate: Candidate) -> Candidate:
         """Optimizer passes over a raw lowered candidate; returns a new
         candidate whose kernel is ready for prediction or execution."""
-        t0 = time.perf_counter()
-        kernel = infer_dma(candidate.kernel, candidate.compute, self.config)
-        if self.prefetch:
-            kernel = apply_prefetch(kernel)
-        self.metrics.optimization.add(time.perf_counter() - t0)
+        ctx = self._context(candidate.strategy)
+        # lowered candidates already passed SPM planning
+        ctx.established.add(SPM_PLANNED)
+        kernel = self.optimizer.run(ctx, candidate.kernel)
         return Candidate(candidate.strategy, kernel, candidate.compute)
 
     def prepare(
@@ -83,12 +130,7 @@ class CandidatePipeline:
         path: re-materialize a stored winner without enumeration)."""
         if clip:
             strategy = clip_strategy(strategy, self.compute)
-        t0 = time.perf_counter()
-        kernel = lower_strategy(
-            self.compute, strategy, options=self.options,
-            config=self.config, registry=self.registry,
-        )
-        self.metrics.enumeration.add(time.perf_counter() - t0)
+        kernel = self._lower(strategy)
         return self.optimize(Candidate(strategy, kernel, self.compute))
 
     # --- space enumeration ------------------------------------------------
@@ -102,15 +144,21 @@ class CandidatePipeline:
         it = iter_candidates(
             self.compute, self.space, options=self.options,
             config=self.config, registry=self.registry, stats=self.stats,
+            lower=lambda compute, strategy, **_: self._lower(strategy),
         )
         declared_seen = 0
         legal = 0
         sentinel = object()
         while True:
+            lower_seen = self.metrics.lowering.seconds
             t0 = time.perf_counter()
             raw = next(it, sentinel)
+            dt = time.perf_counter() - t0
+            # the lowering manager charged its share already; the walk
+            # itself is what remains
+            lowered = self.metrics.lowering.seconds - lower_seen
             self.metrics.enumeration.add(
-                time.perf_counter() - t0,
+                max(0.0, dt - lowered),
                 count=self.stats.declared - declared_seen,
             )
             declared_seen = self.stats.declared

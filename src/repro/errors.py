@@ -44,6 +44,25 @@ class IrError(ReproError):
     """Structurally invalid IR or illegal IR mutation."""
 
 
+class PassVerificationError(IrError):
+    """The IR verifier found a structural invariant violated after a
+    pass ran.
+
+    ``pass_name`` names the offending pass, ``violations`` lists every
+    broken invariant the verifier saw -- a pass produced IR the rest of
+    the pipeline cannot trust, which is a bug in the pass (or in a
+    hand-built kernel), never a prunable candidate condition.
+    """
+
+    def __init__(self, pass_name: str, violations):
+        self.pass_name = pass_name
+        self.violations = list(violations)
+        detail = "; ".join(self.violations)
+        super().__init__(
+            f"IR verifier failed after pass {pass_name!r}: {detail}"
+        )
+
+
 class ScheduleError(ReproError):
     """A schedule strategy is invalid for the given compute seed."""
 

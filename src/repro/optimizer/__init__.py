@@ -15,6 +15,7 @@ from .dma_inference import (
     FlatTile,
     flatten_access,
     geometry_of,
+    hoist_dma,
     infer_dma,
     storage_shapes,
 )
@@ -28,6 +29,7 @@ from .prefetch import (
 
 __all__ = [
     "infer_dma",
+    "hoist_dma",
     "geometry_of",
     "flatten_access",
     "FlatTile",

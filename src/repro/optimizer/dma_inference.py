@@ -173,10 +173,17 @@ def infer_dma(
         return None
 
     annotated = transform(kernel, annotate)
+    assert isinstance(annotated, KernelNode)
     if not hoist:
-        assert isinstance(annotated, KernelNode)
         return annotated
-    hoisted = transform(annotated, _hoist_out_of_loop)
+    return hoist_dma(annotated)
+
+
+def hoist_dma(kernel: KernelNode) -> KernelNode:
+    """Hoist loop-invariant mem->SPM transfers out of their loops (the
+    redundant-copy elimination half of Sec. 4.5.1), as its own step so
+    the pass pipeline can instrument annotation and hoisting apart."""
+    hoisted = transform(kernel, _hoist_out_of_loop)
     assert isinstance(hoisted, KernelNode)
     return hoisted
 

@@ -1,0 +1,86 @@
+"""Optimizer stages (Sec. 4.5) on the :class:`Pass` interface.
+
+The former free functions ``infer_dma`` / ``apply_prefetch`` plus the
+boundary analysis become named pipeline stages so every consumer runs
+them through the instrumented, verified
+:class:`~repro.passes.manager.PassManager`:
+
+* ``infer-dma`` -- fill per-CPE descriptor geometry on every DMA node
+  (establishes the ``dma-geometry`` invariant);
+* ``hoist-dma`` -- move loop-invariant mem->SPM transfers outward
+  (redundant-copy elimination);
+* ``prefetch`` -- automatic latency hiding: mark streaming loops
+  pipelined for double-buffered DMA/compute overlap (Sec. 4.5.2);
+* ``analyze-boundary`` -- record boundary GEMM-site and lightweight
+  padding statistics (Sec. 4.5.3) into ``ctx.state`` without touching
+  the IR.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import LoweringError
+from ..ir.nodes import KernelNode
+from ..optimizer.boundary import boundary_gemm_sites, lightweight_pad_sites
+from ..optimizer.dma_inference import hoist_dma, infer_dma
+from ..optimizer.prefetch import apply_prefetch
+from .base import DMA_GEOMETRY, Pass, PassContext
+
+
+def _require_kernel(
+    name: str, kernel: Optional[KernelNode]
+) -> KernelNode:
+    if kernel is None:
+        raise LoweringError(f"pass {name!r} needs a lowered kernel")
+    return kernel
+
+
+class InferDmaPass(Pass):
+    """Derive per-CPE DMA descriptor geometry (Sec. 4.5.1)."""
+
+    name = "infer-dma"
+    establishes = (DMA_GEOMETRY,)
+
+    def run(self, ctx: PassContext, kernel: Optional[KernelNode]):
+        kernel = _require_kernel(self.name, kernel)
+        return infer_dma(kernel, ctx.compute, ctx.config, hoist=False)
+
+
+class HoistDmaPass(Pass):
+    """Hoist loop-invariant mem->SPM transfers out of loops."""
+
+    name = "hoist-dma"
+
+    def run(self, ctx: PassContext, kernel: Optional[KernelNode]):
+        return hoist_dma(_require_kernel(self.name, kernel))
+
+
+class PrefetchPass(Pass):
+    """Automatic latency hiding: pipeline streaming loops (Sec. 4.5.2)."""
+
+    name = "prefetch"
+
+    def run(self, ctx: PassContext, kernel: Optional[KernelNode]):
+        return apply_prefetch(_require_kernel(self.name, kernel))
+
+
+class AnalyzeBoundaryPass(Pass):
+    """Record boundary-processing statistics (Sec. 4.5.3) in ctx.state."""
+
+    name = "analyze-boundary"
+
+    def run(self, ctx: PassContext, kernel: Optional[KernelNode]):
+        kernel = _require_kernel(self.name, kernel)
+        ctx.state["boundary_sites"] = boundary_gemm_sites(kernel)
+        ctx.state["pad_sites"] = lightweight_pad_sites(kernel)
+        return None
+
+
+def optimize_passes(*, prefetch: bool = True) -> List[Pass]:
+    """The default optimization pipeline over a lowered kernel."""
+    passes: List[Pass] = [InferDmaPass(), HoistDmaPass()]
+    if prefetch:
+        passes.append(PrefetchPass())
+    passes.append(AnalyzeBoundaryPass())
+    return passes

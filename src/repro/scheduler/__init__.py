@@ -1,7 +1,12 @@
 """Scheduler: schedule-space traversal and strategy lowering (Sec. 4.3)."""
 
 from .enumerate import Candidate, EnumerationStats, enumerate_candidates, iter_candidates
-from .lower import LoweringOptions, axis_of_dim, lower_strategy
+from .lower import (
+    LoweringOptions,
+    axis_of_dim,
+    lower_strategy,
+    reference_lower_strategy,
+)
 from .transforms import (
     SplitResult,
     fuse_extents,
@@ -18,6 +23,7 @@ __all__ = [
     "iter_candidates",
     "LoweringOptions",
     "lower_strategy",
+    "reference_lower_strategy",
     "axis_of_dim",
     "SplitResult",
     "split_extent",

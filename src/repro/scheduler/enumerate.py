@@ -10,7 +10,7 @@ the *valid* schedule space the autotuner ranks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from ..dsl.compute import ComputeDef
 from ..dsl.schedule import ScheduleSpace, ScheduleStrategy
@@ -50,15 +50,23 @@ def iter_candidates(
     config: Optional[MachineConfig] = None,
     registry: Optional[PrimitiveRegistry] = None,
     stats: Optional[EnumerationStats] = None,
+    lower: Optional[Callable[..., KernelNode]] = None,
 ) -> Iterator[Candidate]:
-    """Lazily lower every legal strategy of the space."""
+    """Lazily lower every legal strategy of the space.
+
+    ``lower`` overrides how a strategy becomes IR (the engine passes
+    its instrumented pass-manager run here); it is called as
+    ``lower(compute, strategy, options=..., config=..., registry=...)``
+    and defaults to :func:`~repro.scheduler.lower.lower_strategy`.
+    """
     cfg = config or default_config()
     reg = registry or default_registry()
+    do_lower = lower or lower_strategy
     for strategy in space.strategies():
         if stats is not None:
             stats.declared += 1
         try:
-            kernel = lower_strategy(
+            kernel = do_lower(
                 compute, strategy, options=options, config=cfg, registry=reg
             )
         except IllegalCandidateError:

@@ -87,9 +87,43 @@ def lower_strategy(
 ) -> KernelNode:
     """Apply one schedule strategy to the seed and emit kernel IR.
 
-    Raises :class:`IllegalCandidateError` for strategies the scheduler
-    must prune (bad loop order, SPM overflow, no legal primitive) and
-    :class:`LoweringError` for structural problems in the seed itself.
+    Thin wrapper over the verified pass pipeline: runs the
+    decode-strategy / build-loop-nest / plan-spm stages on a
+    :class:`~repro.passes.manager.PassManager` with interleaved IR
+    verification.  Raises :class:`IllegalCandidateError` for strategies
+    the scheduler must prune (bad loop order, SPM overflow, no legal
+    primitive) and :class:`LoweringError` for structural problems in
+    the seed itself.
+    """
+    # lazy import: repro.passes.lowering imports this module's helpers
+    from ..passes.base import PassContext
+    from ..passes.lowering import lowering_passes
+    from ..passes.manager import PassManager
+
+    ctx = PassContext(
+        compute=compute,
+        config=config or default_config(),
+        strategy=strategy,
+        options=options,
+        registry=registry,
+    )
+    return PassManager(lowering_passes()).run(ctx)
+
+
+def reference_lower_strategy(
+    compute: ComputeDef,
+    strategy: ScheduleStrategy,
+    *,
+    options: Optional[LoweringOptions] = None,
+    config: Optional[MachineConfig] = None,
+    registry: Optional[PrimitiveRegistry] = None,
+) -> KernelNode:
+    """The frozen pre-pipeline monolithic lowering.
+
+    Kept verbatim as the oracle for the golden tests: the staged
+    pipeline behind :func:`lower_strategy` must produce bit-identical
+    IR to this function for any strategy.  Not used by any runtime
+    consumer.
     """
     compute.validate()
     opts = options or LoweringOptions()

@@ -37,6 +37,30 @@ class TestTables:
         with pytest.raises(SystemExit):
             cli.main(["fig99"])
 
+    def test_dump_ir_prints_passes_to_stderr(self, capsys):
+        from repro.passes import set_dump_ir
+
+        try:
+            rc = cli.main(["fig10", "--scale", "smoke", "--dump-ir"])
+            assert rc == 0
+            captured = capsys.readouterr()
+            assert "IR after pass" in captured.err
+            assert "IR after pass" not in captured.out
+        finally:
+            set_dump_ir(None)
+
+    def test_dump_ir_filters_to_named_pass(self, capsys):
+        from repro.passes import set_dump_ir
+
+        try:
+            rc = cli.main(["fig10", "--scale", "smoke", "--dump-ir", "prefetch"])
+            assert rc == 0
+            err = capsys.readouterr().err
+            assert "IR after pass 'prefetch'" in err
+            assert "build-loop-nest" not in err
+        finally:
+            set_dump_ir(None)
+
     def test_workers_flag_sets_process_default(self, capsys):
         from repro.engine import default_workers, set_default_workers
 

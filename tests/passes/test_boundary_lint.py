@@ -1,0 +1,57 @@
+"""Tests for the pass-pipeline import-boundary lint (tools/)."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+TOOL = REPO / "tools" / "check_pass_boundary.py"
+
+
+def load_tool():
+    spec = importlib.util.spec_from_file_location("check_pass_boundary", TOOL)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestBoundaryLint:
+    def test_repo_source_is_clean(self):
+        proc = subprocess.run(
+            [sys.executable, str(TOOL), str(REPO / "src")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_direct_import_is_flagged(self, tmp_path):
+        mod = load_tool()
+        bad = tmp_path / "repro" / "engine" / "rogue.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "from repro.optimizer.dma_inference import infer_dma\n"
+        )
+        violations = list(mod.iter_violations(tmp_path))
+        assert len(violations) == 1
+        path, lineno, name = violations[0]
+        assert path == bad and lineno == 1 and name == "infer_dma"
+
+    def test_attribute_access_is_flagged(self, tmp_path):
+        mod = load_tool()
+        bad = tmp_path / "repro" / "harness" / "rogue.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import repro.optimizer as opt\n"
+            "def f(k):\n"
+            "    return opt.apply_prefetch(k)\n"
+        )
+        violations = list(mod.iter_violations(tmp_path))
+        assert [(v[1], v[2]) for v in violations] == [(3, "apply_prefetch")]
+
+    def test_allowed_packages_are_exempt(self, tmp_path):
+        mod = load_tool()
+        ok = tmp_path / "repro" / "passes" / "optimize.py"
+        ok.parent.mkdir(parents=True)
+        ok.write_text("from ..optimizer.dma_inference import infer_dma\n")
+        assert list(mod.iter_violations(tmp_path)) == []

@@ -1,0 +1,105 @@
+"""Golden tests: the staged pass pipeline is a refactor, not a rewrite.
+
+``reference_lower_strategy`` is the frozen pre-pipeline monolith and
+``infer_dma``/``apply_prefetch`` its optimizer tail; for every strategy
+of a fixed set the pipeline must produce **bit-identical** IR (the
+nodes are dataclasses, so ``==`` is deep structural equality) and the
+tuner's ranking over the space must be unchanged.
+"""
+
+import pytest
+
+from repro.dsl import ScheduleSpace
+from repro.engine import AnalyticEvaluator, CandidatePipeline
+from repro.errors import IllegalCandidateError
+from repro.optimizer import apply_prefetch, infer_dma
+from repro.scheduler import lower_strategy, reference_lower_strategy
+
+from ..scheduler.test_lower import conv_cd, gemm_cd
+
+
+def gemm_space(M=128, N=128, K=96):
+    cd = gemm_cd(M, N, K)
+    sp = ScheduleSpace(cd)
+    sp.split("M", [32, 64])
+    sp.split("N", [32, 128])
+    sp.split("K", [48, 96])  # 48 leaves no tail, 96 is untiled
+    sp.vectorize()
+    return cd, sp
+
+
+def conv_space():
+    cd = conv_cd()
+    sp = ScheduleSpace(cd)
+    sp.split("No", [8, 16])
+    sp.split("Co", [4, 8])
+    sp.split("Ni", [4, 8])
+    sp.split("Kr", [1])  # kernel axes iterate point-wise
+    sp.split("Kc", [1])
+    return cd, sp
+
+
+def reference_compile(cd, strategy, *, prefetch=True):
+    kernel = reference_lower_strategy(cd, strategy)
+    kernel = infer_dma(kernel, cd)
+    if prefetch:
+        kernel = apply_prefetch(kernel)
+    return kernel
+
+
+@pytest.mark.parametrize("make_space", [gemm_space, conv_space])
+class TestBitIdenticalIr:
+    def test_lowering_matches_reference(self, make_space):
+        cd, sp = make_space()
+        checked = 0
+        for strategy in sp.strategies():
+            try:
+                expected = reference_lower_strategy(cd, strategy)
+            except IllegalCandidateError:
+                with pytest.raises(IllegalCandidateError):
+                    lower_strategy(cd, strategy)
+                continue
+            assert lower_strategy(cd, strategy) == expected
+            checked += 1
+        assert checked > 0
+
+    def test_full_pipeline_matches_reference(self, make_space):
+        cd, sp = make_space()
+        pipe = CandidatePipeline(cd)
+        checked = 0
+        for strategy in sp.strategies():
+            try:
+                expected = reference_compile(cd, strategy)
+            except IllegalCandidateError:
+                continue
+            assert pipe.prepare(strategy).kernel == expected
+            checked += 1
+        assert checked > 0
+
+
+class TestTunerPicksUnchanged:
+    def test_analytic_ranking_matches_reference(self):
+        cd, sp = gemm_space()
+        evaluator = AnalyticEvaluator()
+
+        pipeline_scores = {}
+        for cand in CandidatePipeline(cd, sp).candidates():
+            key = tuple(sorted(cand.strategy.decisions.items()))
+            pipeline_scores[key] = evaluator.evaluate(cand).cycles
+
+        from repro.scheduler.enumerate import Candidate
+
+        reference_scores = {}
+        for strategy in sp.strategies():
+            try:
+                kernel = reference_compile(cd, strategy)
+            except IllegalCandidateError:
+                continue
+            key = tuple(sorted(strategy.decisions.items()))
+            cand = Candidate(strategy=strategy, kernel=kernel, compute=cd)
+            reference_scores[key] = evaluator.evaluate(cand).cycles
+
+        assert pipeline_scores == reference_scores
+        best = min(pipeline_scores, key=pipeline_scores.__getitem__)
+        ref_best = min(reference_scores, key=reference_scores.__getitem__)
+        assert best == ref_best
