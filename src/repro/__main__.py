@@ -73,6 +73,22 @@ def main(argv=None) -> int:
              "(default: serial; every tuner in the run inherits this)",
     )
     parser.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable branch-and-bound candidate pruning (the escape "
+             "hatch: results are bit-identical either way, pruning "
+             "only skips lowering/scoring of provably-losing "
+             "candidates)",
+    )
+    parser.add_argument(
+        "--eval-cache",
+        default=None,
+        metavar="PATH",
+        help="persist evaluation scores to PATH (versioned JSON) and "
+             "warm-start from it, so repeated runs skip re-measuring "
+             "strategies scored in earlier processes",
+    )
+    parser.add_argument(
         "--dump-ir",
         nargs="?",
         const="all",
@@ -88,6 +104,15 @@ def main(argv=None) -> int:
         from .engine import set_default_workers
 
         set_default_workers(args.workers)
+    if args.no_prune:
+        from .engine import set_default_prune
+
+        set_default_prune(False)
+    eval_store = None
+    if args.eval_cache is not None:
+        from .engine import set_eval_cache
+
+        eval_store = set_eval_cache(args.eval_cache)
     if args.dump_ir is not None:
         from .passes import set_dump_ir
 
@@ -99,6 +124,9 @@ def main(argv=None) -> int:
         for table in _tables(name, scale):
             print(table.render())
         print(f"[{name}: {time.perf_counter() - t0:.1f}s]\n")
+    if eval_store is not None:
+        eval_store.flush()
+        print(f"[eval cache: {eval_store.describe()}]", file=sys.stderr)
     return 0
 
 

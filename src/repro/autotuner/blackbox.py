@@ -31,7 +31,7 @@ from ..engine import (
     Evaluator,
     MemoizingEvaluator,
     SimulatorEvaluator,
-    evaluate_batch,
+    search_candidates,
     synthetic_feeds,
 )
 from .model_tuner import _memo_salt
@@ -50,6 +50,7 @@ def tune_blackbox(
     limit: Optional[int] = None,
     workers: Optional[int] = None,
     memoize: bool = False,
+    prune: bool = False,
 ) -> TuningResult:
     """Execute every legal candidate; return the measured best.
 
@@ -57,6 +58,11 @@ def tune_blackbox(
     benches; the paper's black-box numbers use the full space).
     ``workers`` parallelizes execution (``None`` inherits the
     process-wide default, see ``repro.engine.set_default_workers``).
+    ``prune`` defaults *off* and deliberately ignores the process-wide
+    pruning default, for the same reason ``memoize`` does: this tuner
+    exists to measure the true cost of brute force.  Opt in explicitly
+    when the cost is not the point -- the admissible bound holds
+    against measured cycles too, so the winner is unchanged.
     """
     cfg = config or default_config()
     data = feeds if feeds is not None else synthetic_feeds(compute)
@@ -65,27 +71,30 @@ def tune_blackbox(
     pipeline = CandidatePipeline(
         compute, space, options=options, config=cfg, prefetch=prefetch
     )
-    candidates = list(pipeline.candidates(limit=limit))
-    if not candidates:
-        raise TuningError(
-            f"schedule space of {compute.name!r} has no legal candidates"
-        )
-
     simulator: Evaluator = SimulatorEvaluator(data, cfg)
     if memoize:
         simulator = MemoizingEvaluator(
             simulator, salt=_memo_salt(options, prefetch)
         )
-    evaluations = evaluate_batch(
-        candidates, simulator, workers=workers, metrics=pipeline.metrics
+    pairs = search_candidates(
+        pipeline,
+        simulator,
+        workers=workers,
+        prune=bool(prune),
+        limit=limit,
     )
+    if not pairs:
+        raise TuningError(
+            f"schedule space of {compute.name!r} has no legal candidates"
+        )
+
     scores = [
         CandidateScore(
             candidate=c,
             measured_cycles=e.measured_cycles,
             report=e.report,
         )
-        for c, e in zip(candidates, evaluations)
+        for c, e in pairs
     ]
     # min() keeps the first of equals -- same tie-break as the seed's
     # strict-less scan, so results are stable across worker counts.

@@ -10,13 +10,12 @@ per-machine-config so tuning stays interactive.
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import CalibrationError
-from ..machine.config import MachineConfig, default_config
+from ..machine.config import MachineConfig, config_signature, default_config
 from ..primitives.gemm_kernel import kernel_cycles
 from ..primitives.microkernel import ALL_VARIANTS, KernelVariant
 from .cost_model import GemmCoeffs, eq2_features
@@ -81,10 +80,23 @@ def fit_all(
     return {v.name: fit_variant(v, grid, cfg) for v in ALL_VARIANTS}
 
 
-@lru_cache(maxsize=4)
+# Keyed on the *full* machine signature, not the config object: the
+# dataclass hash ignores the latency/pipe tables, so an lru_cache on
+# the config silently returned stale coefficients for configs differing
+# only in instruction timing -- and every analytic score downstream
+# (including MemoizingEvaluator keys built from those coefficients)
+# collided with them.
+_FIT_CACHE: Dict[Tuple, Tuple[Tuple[str, Tuple[float, ...]], ...]] = {}
+
+
 def _cached_fit(config: MachineConfig) -> Tuple[Tuple[str, Tuple[float, ...]], ...]:
-    coeffs = fit_all(config=config)
-    return tuple(sorted((k, tuple(v)) for k, v in coeffs.items()))
+    key = config_signature(config)
+    hit = _FIT_CACHE.get(key)
+    if hit is None:
+        coeffs = fit_all(config=config)
+        hit = tuple(sorted((k, tuple(v)) for k, v in coeffs.items()))
+        _FIT_CACHE[key] = hit
+    return hit
 
 
 def default_coeffs(config: Optional[MachineConfig] = None) -> GemmCoeffs:

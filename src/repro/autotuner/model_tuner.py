@@ -31,8 +31,10 @@ from ..engine import (
     MemoizingEvaluator,
     SimulatorEvaluator,
     evaluate_batch,
+    search_candidates,
     synthetic_feeds,
 )
+from ..primitives.microkernel import schedule_memo_stats
 from .cost_model import GemmCoeffs
 from .result import CandidateScore, TuningResult
 
@@ -64,6 +66,7 @@ def tune_with_model(
     top_k: int = 1,
     workers: Optional[int] = None,
     memoize: bool = True,
+    prune: Optional[bool] = None,
 ) -> TuningResult:
     """Rank all candidates analytically; execute the best.
 
@@ -72,27 +75,33 @@ def tune_with_model(
     ``workers`` parallelizes evaluation (``None`` inherits the
     process-wide default, see ``repro.engine.set_default_workers``);
     ``memoize`` reuses measured runs of strategies already executed
-    anywhere in this process.
+    anywhere in this process.  ``prune`` enables branch-and-bound
+    pruning (``None`` inherits the process-wide default, see
+    ``repro.engine.set_default_prune``): candidates whose admissible
+    cost bound exceeds the ``top_k``-th best prediction so far are
+    never lowered or scored.  The winner and the re-measured top-K are
+    bit-identical either way; only ``evaluated`` and the stage
+    counters change.
     """
     cfg = config or default_config()
     t0 = time.perf_counter()
+    ukernel_before = schedule_memo_stats().hits
 
     pipeline = CandidatePipeline(
         compute, space, options=options, config=cfg, prefetch=prefetch
     )
-    candidates = list(pipeline.candidates())
-    if not candidates:
+    analytic = AnalyticEvaluator(coeffs, cfg)
+    pairs = search_candidates(
+        pipeline, analytic, top_k=max(1, top_k), workers=workers, prune=prune
+    )
+    if not pairs:
         raise TuningError(
             f"schedule space of {compute.name!r} has no legal candidates"
         )
 
-    analytic = AnalyticEvaluator(coeffs, cfg)
-    predictions = evaluate_batch(
-        candidates, analytic, workers=workers, metrics=pipeline.metrics
-    )
     scored = [
         CandidateScore(candidate=c, predicted_cycles=e.predicted_cycles)
-        for c, e in zip(candidates, predictions)
+        for c, e in pairs
     ]
     scored.sort(key=lambda s: s.predicted_cycles or float("inf"))
 
@@ -120,6 +129,9 @@ def tune_with_model(
         report = best.report
 
     wall = time.perf_counter() - t0
+    pipeline.metrics.ukernel_memo_hits += (
+        schedule_memo_stats().hits - ukernel_before
+    )
     return TuningResult(
         best=best,
         space_size=pipeline.stats.declared,

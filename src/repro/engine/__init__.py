@@ -5,21 +5,39 @@ and evaluation (cost model or simulated execution, optionally memoized
 and fanned out over worker processes).  Both autotuners, the operator
 runners and the runtime library route through this package; see
 DESIGN.md Sec. 2 ("Evaluation engine").
+
+The branch-and-bound layer (:mod:`~repro.engine.bounds` +
+:mod:`~repro.engine.search`) sits between the two halves: strategies
+are given an admissible pre-IR cost bound and only the ones that could
+still beat the incumbent are lowered and scored; the rest are pruned
+without ever existing as IR.
 """
 
+from .bounds import (
+    BOUND_SAFETY,
+    StrategyBound,
+    definitely_infeasible,
+    strategy_bound,
+)
+from .evalcache import (
+    PersistentEvalStore,
+    default_eval_store,
+    set_eval_cache,
+)
 from .evaluators import (
     AnalyticEvaluator,
     Evaluation,
     Evaluator,
     MemoizingEvaluator,
     SimulatorEvaluator,
+    clear_feeds_cache,
     clear_shared_memo,
     compute_signature,
     shared_memo_size,
     strategy_key,
     synthetic_feeds,
 )
-from .metrics import EngineMetrics, StageStats
+from .metrics import EngineMetrics, PruneBatch, StageStats
 from .parallel import (
     default_workers,
     evaluate_batch,
@@ -27,25 +45,44 @@ from .parallel import (
     set_default_workers,
 )
 from .pipeline import CandidatePipeline, clip_strategy, compile_strategy
+from .search import (
+    default_prune,
+    resolve_prune,
+    search_candidates,
+    set_default_prune,
+)
 
 __all__ = [
     "AnalyticEvaluator",
+    "BOUND_SAFETY",
     "CandidatePipeline",
     "EngineMetrics",
     "Evaluation",
     "Evaluator",
     "MemoizingEvaluator",
+    "PersistentEvalStore",
+    "PruneBatch",
     "SimulatorEvaluator",
     "StageStats",
+    "StrategyBound",
+    "clear_feeds_cache",
     "clear_shared_memo",
     "clip_strategy",
     "compile_strategy",
     "compute_signature",
+    "default_eval_store",
+    "default_prune",
     "default_workers",
+    "definitely_infeasible",
     "evaluate_batch",
+    "resolve_prune",
     "resolve_workers",
+    "search_candidates",
+    "set_default_prune",
     "set_default_workers",
+    "set_eval_cache",
     "shared_memo_size",
     "strategy_key",
+    "strategy_bound",
     "synthetic_feeds",
 ]

@@ -1,0 +1,271 @@
+"""Admissible strategy-level lower bounds, computed before any IR exists.
+
+The branch-and-bound driver (:mod:`repro.engine.search`) wants to skip
+the lower -> optimize -> predict pipeline for candidates that provably
+cannot beat the incumbent.  That is only sound if the bound is
+*admissible*: for every strategy the bound must not exceed the score
+the full pipeline would produce, otherwise a potential winner could be
+pruned and the search would no longer return bit-identical results to
+the exhaustive walk.  Two bounds are combined (see DESIGN.md, "Bound
+admissibility"):
+
+* **DMA traffic bound** -- Eq. (1) with every waste term zeroed: each
+  tensor is moved at most once per execution of its innermost
+  materialized indexing loop (assuming maximal hoisting, which the
+  hoist-dma pass approaches but never beats), each transfer pays the
+  fixed descriptor overheads once, and all bytes stream at the peak
+  DRAM bandwidth with no transaction padding.
+* **Compute bound** -- the kernel's FLOPs retired at the throughput of
+  the strategy's *own* kernel variant (the vec_dim/spm_layout decisions
+  fully determine it before lowering), with zero init/drain/loop/call
+  overhead.  The variant's steady-state k-step cost comes from the
+  pipeline model, but is normalized by the *ideal* 16-cycle step even
+  though every real variant needs >= 17 cycles -- a built-in >= 6%
+  margin below the structural floor that absorbs the Eq. (2) fit's
+  local undershoot.
+
+A pipelined kernel can at best fully overlap the two, so the bound is
+their ``max()`` -- never their sum.  Any strategy the decoder cannot
+interpret gets the vacuous bound 0.0, which never prunes.
+
+The same pre-IR decode also yields :func:`definitely_infeasible`: a
+*conservative* floor on the per-CPE SPM footprint (perfect 8x8 split,
+no padding, no alignment).  When even that floor overflows the 64 KB
+pad, lowering is guaranteed to raise ``IllegalCandidateError`` at the
+plan-spm stage -- so the strategy can be counted as pruned without
+building its loop nest at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..dsl.compute import REDUCTION, ComputeDef, ShiftedDim
+from ..dsl.schedule import ScheduleStrategy
+from ..machine.config import MachineConfig, default_config
+from ..primitives.microkernel import (
+    BLOCK_SCALARS,
+    BLOCK_VECS,
+    COL_MAJOR,
+    KernelVariant,
+    cycles_per_k_step,
+)
+from ..scheduler.lower import LoweringOptions
+
+__all__ = [
+    "BOUND_SAFETY",
+    "StrategyBound",
+    "definitely_infeasible",
+    "strategy_bound",
+]
+
+#: Relative slack applied when comparing a bound against the incumbent.
+#: On candidates where the bound is exactly tight (zero waste in the
+#: real kernel too) float summation order can leave the bound a few ulp
+#: *above* the model's score; scaling by (1 - 1e-9) absorbs that while
+#: costing nothing measurable in pruning power.
+BOUND_SAFETY = 1.0 - 1e-9
+
+
+@dataclass(frozen=True)
+class StrategyBound:
+    """Lower bound on the cost of one schedule strategy."""
+
+    dma_cycles: float
+    compute_cycles: float
+    transfers: int
+    dma_bytes: float
+
+    @property
+    def cycles(self) -> float:
+        """The admissible bound: DMA and compute fully overlapped."""
+        return max(self.dma_cycles, self.compute_cycles)
+
+
+#: The never-prunes bound returned for undecodable strategies.
+VACUOUS = StrategyBound(0.0, 0.0, 0, 0.0)
+
+
+def _decode(
+    compute: ComputeDef, strategy: ScheduleStrategy
+) -> Optional[Tuple[Dict[str, int], Tuple[str, ...]]]:
+    """Mirror of the decode-strategy pass's tile/order extraction.
+
+    Tiles are clipped into [1, extent] (an out-of-range tile would make
+    the candidate illegal anyway); ``None`` means the strategy carries
+    decisions this cheap decoder does not understand -- the caller must
+    fall back to the vacuous bound.
+    """
+    tiles: Dict[str, int] = {}
+    for name, axis in compute.axes.items():
+        tile = strategy.get(f"tile:{name}")
+        if tile is None:
+            tiles[name] = axis.extent
+            continue
+        try:
+            tiles[name] = max(1, min(int(tile), axis.extent))
+        except (TypeError, ValueError):
+            return None
+
+    order = strategy.get("order")
+    if order is None:
+        spatial = [a for a in compute.axes if compute.axes[a].kind != REDUCTION]
+        reduction = [a for a in compute.axes if compute.axes[a].kind == REDUCTION]
+        return tiles, tuple(spatial + reduction)
+    order = tuple(order)
+    if set(order) != set(compute.axes):
+        return None
+    return tiles, order
+
+
+def _indexing_axes(spec) -> set:
+    """Loop axes whose value changes which elements of the tensor a
+    tile touches.  A shifted dim is driven by both its spatial base and
+    its kernel offset."""
+    axes = set()
+    for dim in spec.dims:
+        if isinstance(dim, ShiftedDim):
+            axes.add(dim.spatial)
+            axes.add(dim.kernel)
+        else:
+            axes.add(dim)
+    return axes
+
+
+#: cycles of one 4x4-block k-step at one vmad per cycle -- the ideal
+#: the hand-written kernels aspire to; the pipeline model's real
+#: variants all come out >= 17.
+_IDEAL_K_STEP = float(BLOCK_VECS * BLOCK_SCALARS)
+
+
+def _variant_step_scale(
+    strategy: ScheduleStrategy, cfg: MachineConfig
+) -> float:
+    """Slowdown of the strategy's kernel variant relative to the ideal
+    16-cycle k-step (>= 1 for every real variant; 1.0 -- the peak
+    fallback -- when the decisions do not name a valid variant)."""
+    try:
+        variant = KernelVariant(
+            str(strategy.get("spm_layout:a", COL_MAJOR)),
+            str(strategy.get("spm_layout:b", COL_MAJOR)),
+            str(strategy.get("vec_dim", "M")),
+        )
+    except Exception:
+        return 1.0
+    return max(1.0, cycles_per_k_step(variant, cfg) / _IDEAL_K_STEP)
+
+
+def strategy_bound(
+    compute: ComputeDef,
+    strategy: ScheduleStrategy,
+    config: Optional[MachineConfig] = None,
+) -> StrategyBound:
+    """Admissible cost lower bound for one strategy of ``compute``.
+
+    For every tensor, the innermost *materialized* loop (trip count
+    > 1) that indexes it determines how often its tile must be
+    (re-)transferred; loops outside that tensor's indexing set multiply
+    its total traffic (the tile is re-loaded although the data did not
+    change -- even a perfect hoist cannot avoid that).  Un-tiled axes
+    produce no loop and therefore no re-transfers, matching what the
+    hoist pass achieves on the real IR.
+    """
+    cfg = config or default_config()
+    decoded = _decode(compute, strategy)
+    if decoded is None:
+        return VACUOUS
+    tiles, order = decoded
+
+    trips = {
+        name: -(-axis.extent // tiles[name])
+        for name, axis in compute.axes.items()
+    }
+    loops = [a for a in order if trips[a] > 1]
+
+    transfers = 0
+    total_bytes = 0.0
+    for name, spec in compute.tensors.items():
+        indexing = _indexing_axes(spec)
+        last = -1
+        for i, axis in enumerate(loops):
+            if axis in indexing:
+                last = i
+        prefix = loops[: last + 1]
+        execs = 1
+        replication = 1
+        for axis in prefix:
+            execs *= trips[axis]
+            if axis not in indexing:
+                replication *= trips[axis]
+        tensor_elems = math.prod(compute.tensor_shape(name))
+        transfers += execs
+        total_bytes += tensor_elems * cfg.dtype_bytes * replication
+
+    dma_cycles = (
+        transfers * (cfg.dma_latency_cycles + cfg.dma_issue_cycles)
+        + total_bytes / cfg.dram_bytes_per_cycle
+    )
+
+    flops = 2.0 * math.prod(a.extent for a in compute.axes.values())
+    compute_cycles = (
+        flops
+        / (cfg.cpes_per_cg * cfg.flops_per_vmad)
+        * _variant_step_scale(strategy, cfg)
+    )
+
+    return StrategyBound(
+        dma_cycles=dma_cycles,
+        compute_cycles=compute_cycles,
+        transfers=transfers,
+        dma_bytes=total_bytes,
+    )
+
+
+def definitely_infeasible(
+    compute: ComputeDef,
+    strategy: ScheduleStrategy,
+    config: Optional[MachineConfig] = None,
+    options: Optional[LoweringOptions] = None,
+) -> bool:
+    """True when lowering is *guaranteed* to prune this strategy.
+
+    The check is a strict under-estimate of the SPM plan: each GEMM
+    operand tile split perfectly 8x8 (``elems/64`` per CPE, no
+    boundary rounding), no vector padding, no alignment gaps, with the
+    double-buffer reservation the lowering applies to the streamed
+    operands.  If even this floor exceeds the scratch-pad capacity the
+    plan-spm stage must overflow too, so skipping the strategy cannot
+    change the legal candidate set.  ``False`` never implies legality.
+    """
+    cfg = config or default_config()
+    opts = options or LoweringOptions()
+    gemm = compute.gemm
+    if gemm is None:
+        return False
+    decoded = _decode(compute, strategy)
+    if decoded is None:
+        return False
+    tiles, _ = decoded
+
+    floor_bytes = 0.0
+    for tensor in (gemm.a, gemm.b, gemm.c):
+        spec = compute.tensors.get(tensor)
+        if spec is None:
+            return False
+        elems = 1
+        for dim in spec.dims:
+            if isinstance(dim, ShiftedDim):
+                elems *= tiles[dim.spatial]
+            else:
+                elems *= tiles[dim]
+        per_cpe = (
+            elems
+            * cfg.dtype_bytes
+            / (cfg.cluster_rows * cfg.cluster_cols)
+        )
+        if opts.double_buffer and tensor != gemm.c:
+            per_cpe *= 2
+        floor_bytes += per_cpe
+    return floor_bytes > cfg.spm_bytes

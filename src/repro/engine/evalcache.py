@@ -1,0 +1,234 @@
+"""Persistent on-disk evaluation cache.
+
+The in-process shared memo (:mod:`repro.engine.evaluators`) already
+guarantees that a strategy scored anywhere in one process is never
+re-simulated; this module extends the same guarantee *across*
+processes: repeated harness runs, CI benches and
+:class:`~repro.runtime.library.AtopLibrary` sessions warm-start from a
+versioned JSON store instead of re-measuring strategies that were
+already scored yesterday.
+
+Design points:
+
+* **Keys** are the existing :meth:`MemoizingEvaluator.key` tuples,
+  digested with SHA-256 of their ``repr`` -- the tuples are built from
+  primitives (strings, ints, floats, nested tuples) whose ``repr`` is
+  stable across processes, unlike ``hash()`` under ``PYTHONHASHSEED``.
+* **Values** store the predicted/measured cycle counts plus the
+  numeric ``SimReport`` summary (cycles breakdown, bytes, flops --
+  everything the harness tables read).  The report is rebuilt on a hit
+  with the *requesting* evaluator's machine config, which is sound
+  because the key already pins ``config_signature``: only a
+  signature-identical config can reach the entry.
+* A **code-version salt** is written into the file header; loading a
+  store whose salt differs from the running code discards it wholesale.
+  Bump :data:`CODE_SALT` whenever lowering, the optimizer pipeline or
+  the cost model change in a way that moves scores.
+* Writes are **atomic** (temp file + rename) and deferred: callers
+  flush at batch boundaries (``evaluate_batch`` does this), so a tuning
+  loop is never slowed by per-candidate disk traffic.
+
+``set_eval_cache`` installs a process-wide default store (the CLI's
+``--eval-cache PATH`` and ``AtopLibrary(eval_cache_path=...)`` both
+route here); every :class:`MemoizingEvaluator` without an explicit
+``disk`` argument picks it up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..machine.config import MachineConfig, default_config
+from ..machine.trace import SimReport
+from .evaluators import Evaluation
+
+__all__ = [
+    "CODE_SALT",
+    "EVAL_CACHE_VERSION",
+    "PersistentEvalStore",
+    "default_eval_store",
+    "set_eval_cache",
+]
+
+#: bump on incompatible changes to the on-disk layout.
+EVAL_CACHE_VERSION = 2
+
+#: identity of the scoring code; a mismatch invalidates the whole
+#: store.  Bump when lowering / optimizer passes / cost model change
+#: the scores a key maps to.
+CODE_SALT = "swatop-pr3"
+
+#: the numeric SimReport fields persisted alongside the cycle counts
+#: (the ``config`` field is rebuilt from the requesting evaluator).
+_REPORT_FIELDS = (
+    "cycles",
+    "dma_cycles",
+    "compute_cycles",
+    "bytes_moved",
+    "waste_bytes",
+    "flops",
+    "num_cgs_used",
+    "detail",
+)
+
+
+def _report_to_dict(report: Optional[SimReport]) -> Optional[dict]:
+    if report is None:
+        return None
+    return {name: getattr(report, name) for name in _REPORT_FIELDS}
+
+
+def _report_from_dict(
+    raw: Optional[dict], config: Optional[MachineConfig]
+) -> Optional[SimReport]:
+    if raw is None:
+        return None
+    return SimReport(
+        config=config or default_config(),
+        **{name: raw[name] for name in _REPORT_FIELDS if name in raw},
+    )
+
+
+class PersistentEvalStore:
+    """A versioned JSON store of evaluation outcomes."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        salt: str = CODE_SALT,
+    ) -> None:
+        self.path = Path(path)
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[
+            str, Tuple[Optional[float], Optional[float], Optional[dict]]
+        ] = {}
+        self._dirty = False
+        self._load()
+
+    # --- persistence ---------------------------------------------------
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return  # unreadable/corrupt: start empty, overwrite on flush
+        if (
+            raw.get("version") != EVAL_CACHE_VERSION
+            or raw.get("salt") != self.salt
+        ):
+            self._dirty = True  # stale store: rewrite on next flush
+            return
+        for digest, (pred, meas, report) in raw.get("entries", {}).items():
+            self._entries[digest] = (pred, meas, report)
+
+    def flush(self) -> None:
+        """Atomically write pending entries to disk (no-op when clean)."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": EVAL_CACHE_VERSION,
+            "salt": self.salt,
+            "entries": {d: list(v) for d, v in self._entries.items()},
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+
+    # --- mapping -------------------------------------------------------
+    @staticmethod
+    def digest(key: Tuple) -> str:
+        """Stable cross-process digest of a memo key tuple."""
+        return hashlib.sha256(repr(key).encode()).hexdigest()
+
+    def get(
+        self, key: Tuple, *, config: Optional[MachineConfig] = None
+    ) -> Optional[Evaluation]:
+        """Look up a key; ``config`` rebuilds the persisted report's
+        machine context (the key already guarantees it is
+        signature-identical to the one that produced the entry)."""
+        entry = self._entries.get(self.digest(key))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        predicted, measured, report = entry
+        return Evaluation(
+            predicted_cycles=predicted,
+            measured_cycles=measured,
+            report=_report_from_dict(report, config),
+            memoized=True,
+        )
+
+    def put(self, key: Tuple, evaluation: Evaluation) -> None:
+        if (
+            evaluation.predicted_cycles is None
+            and evaluation.measured_cycles is None
+        ):
+            return  # nothing worth persisting
+        digest = self.digest(key)
+        entry = (
+            evaluation.predicted_cycles,
+            evaluation.measured_cycles,
+            _report_to_dict(evaluation.report),
+        )
+        if self._entries.get(digest) == entry:
+            return
+        self._entries[digest] = entry
+        self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self._entries)} entries at {self.path} "
+            f"({self.hits} hits / {self.misses} misses)"
+        )
+
+
+#: the process-wide default store (None = persistence disabled).
+_DEFAULT_STORE: Optional[PersistentEvalStore] = None
+
+
+def set_eval_cache(
+    target: Union[None, str, Path, PersistentEvalStore]
+) -> Optional[PersistentEvalStore]:
+    """Install (or clear, with ``None``) the process-wide eval cache.
+
+    Accepts a path (a store is created/loaded there) or a ready-made
+    :class:`PersistentEvalStore`.  Returns the installed store so
+    callers can inspect or flush it.
+    """
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is not None and _DEFAULT_STORE is not target:
+        _DEFAULT_STORE.flush()
+    if target is None or isinstance(target, PersistentEvalStore):
+        _DEFAULT_STORE = target
+    else:
+        _DEFAULT_STORE = PersistentEvalStore(target)
+    return _DEFAULT_STORE
+
+
+def default_eval_store() -> Optional[PersistentEvalStore]:
+    return _DEFAULT_STORE

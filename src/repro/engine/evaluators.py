@@ -32,23 +32,46 @@ if TYPE_CHECKING:  # pragma: no cover
 
 from ..dsl.compute import ComputeDef, ROLE_OUTPUT, ShiftedDim
 from ..dsl.schedule import ScheduleStrategy
-from ..machine.config import MachineConfig, default_config
+from ..machine.config import MachineConfig, config_signature, default_config
 from ..machine.trace import SimReport
 from ..scheduler.enumerate import Candidate
+
+#: generated input tensors, keyed by (compute signature, seed).  Feed
+#: generation used to re-run the RNG for every simulated candidate --
+#: pure overhead, since simulated timing is data-independent and every
+#: candidate of one compute receives identical feeds anyway.  Cached
+#: arrays are frozen (writes would leak between candidates).
+_FEEDS_CACHE: Dict[Tuple, Dict[str, np.ndarray]] = {}
+
+
+def clear_feeds_cache() -> None:
+    _FEEDS_CACHE.clear()
 
 
 def synthetic_feeds(
     compute: ComputeDef, seed: int = 0
 ) -> Dict[str, np.ndarray]:
-    """Deterministic random inputs for every non-output tensor."""
+    """Deterministic random inputs for every non-output tensor.
+
+    Returns a fresh dict of read-only arrays answered from a
+    process-lifetime cache; callers may add/remove entries but must not
+    write into the arrays.
+    """
+    key = (compute_signature(compute), int(seed))
+    hit = _FEEDS_CACHE.get(key)
+    if hit is not None:
+        return dict(hit)
     rng = np.random.default_rng(seed)
     feeds = {}
     for name, spec in compute.tensors.items():
         if spec.role == ROLE_OUTPUT:
             continue
         shape = compute.tensor_shape(name)
-        feeds[name] = rng.standard_normal(shape).astype(np.float32)
-    return feeds
+        arr = rng.standard_normal(shape).astype(np.float32)
+        arr.setflags(write=False)
+        feeds[name] = arr
+    _FEEDS_CACHE[key] = feeds
+    return dict(feeds)
 
 
 @dataclass(frozen=True)
@@ -185,15 +208,31 @@ def shared_memo_size() -> int:
     return len(_SHARED_MEMO)
 
 
+#: "disk not specified" marker: resolved to the process-wide default
+#: store (see :func:`repro.engine.evalcache.set_eval_cache`) at lookup
+#: time, so installing a cache after evaluators were built still works.
+_DEFAULT_DISK = object()
+
+
 class MemoizingEvaluator(Evaluator):
     """Memo layer over another evaluator.
 
     The key covers everything that determines a score: the compute
-    signature, the strategy decisions, the machine config, the inner
-    evaluator's parameters, plus a caller-supplied ``salt`` for context
-    the candidate itself cannot express (lowering options, prefetch
-    on/off -- the same (compute, strategy) pair lowers to a different
-    kernel under different options, see the Fig. 10 baseline).
+    signature, the strategy decisions, the *full* machine signature
+    (``config_signature`` -- the dataclass's own hash ignores the
+    latency/pipe tables, so keying on the object silently collided
+    configs that differ only in instruction timing, and with them the
+    Eq. (2) coefficients fitted from those timings), the inner
+    evaluator's parameters (for the analytic evaluator that is the
+    fitted coefficients themselves), plus a caller-supplied ``salt`` for
+    context the candidate itself cannot express (lowering options,
+    prefetch on/off -- the same (compute, strategy) pair lowers to a
+    different kernel under different options, see the Fig. 10 baseline).
+
+    Lookup is tiered: the in-process ``store`` first, then the optional
+    persistent ``disk`` store (:class:`~repro.engine.evalcache
+    .PersistentEvalStore`); disk hits are promoted into the in-process
+    store so they pay the digest cost once.
     """
 
     def __init__(
@@ -202,32 +241,63 @@ class MemoizingEvaluator(Evaluator):
         *,
         store: Optional[MutableMapping[Tuple, Evaluation]] = None,
         salt: Optional[Tuple] = None,
+        disk=_DEFAULT_DISK,
     ) -> None:
         self.inner = inner
         self.kind = inner.kind
         self.store = _SHARED_MEMO if store is None else store
         self.salt = salt
+        self._disk = disk
         self.hits = 0
+        self.disk_hits = 0
+
+    @property
+    def disk(self):
+        if self._disk is not _DEFAULT_DISK:
+            return self._disk
+        from .evalcache import default_eval_store
+
+        return default_eval_store()
 
     def key(self, candidate: Candidate) -> Tuple:
+        config = getattr(self.inner, "config", None)
         return (
             self.kind,
             self.inner.params_key(),
             self.salt,
-            getattr(self.inner, "config", None),
+            None if config is None else config_signature(config),
             compute_signature(candidate.compute),
             strategy_key(candidate.strategy),
         )
 
     def lookup(self, candidate: Candidate) -> Optional[Evaluation]:
-        hit = self.store.get(self.key(candidate))
-        if hit is None:
-            return None
-        self.hits += 1
-        return replace(hit, memoized=True)
+        key = self.key(candidate)
+        hit = self.store.get(key)
+        if hit is not None:
+            self.hits += 1
+            return replace(hit, memoized=True)
+        disk = self.disk
+        if disk is not None:
+            found = disk.get(key, config=getattr(self.inner, "config", None))
+            if found is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                self.store[key] = replace(found, memoized=False)
+                return found
+        return None
 
     def remember(self, candidate: Candidate, evaluation: Evaluation) -> None:
-        self.store[self.key(candidate)] = replace(evaluation, memoized=False)
+        key = self.key(candidate)
+        self.store[key] = replace(evaluation, memoized=False)
+        disk = self.disk
+        if disk is not None:
+            disk.put(key, evaluation)
+
+    def flush(self) -> None:
+        """Persist pending disk-store entries (no-op without a disk)."""
+        disk = self.disk
+        if disk is not None:
+            disk.flush()
 
     def evaluate(self, candidate: Candidate) -> Evaluation:
         hit = self.lookup(candidate)

@@ -13,7 +13,7 @@ and the harness tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List
 
 
 @dataclass
@@ -36,26 +36,48 @@ class StageStats:
 
 
 @dataclass
+class PruneBatch:
+    """Outcome of one branch-and-bound batch (a progress trace of the
+    search: early batches lower everything, late batches almost
+    nothing)."""
+
+    considered: int
+    pruned: int
+    lowered: int
+
+
+@dataclass
 class EngineMetrics:
     """Stage-by-stage accounting of one (or several merged) tuning runs.
 
     ``enumeration.count`` counts *declared* strategies (legal + pruned)
-    and its time is the pure space walk; ``lowering`` is the pass
-    pipeline that turns each strategy into raw IR (previously folded
-    into enumeration, mis-charging replay compiles);
+    and its time is the pure space walk; ``bounds`` is the strategy-level
+    lower-bound computation of the branch-and-bound search; ``lowering``
+    is the pass pipeline that turns each strategy into raw IR
+    (previously folded into enumeration, mis-charging replay compiles);
     ``optimization``/``prediction``/``execution`` count candidates that
     actually went through the respective stage.  ``memo_hits`` counts
-    evaluations answered from the shared memo instead of a stage.
-    ``passes`` breaks lowering + optimization down per named IR pass.
+    evaluations answered from the shared memo instead of a stage;
+    ``ukernel_memo_hits`` counts micro-kernel pipeline schedules
+    answered from the schedule memo.  ``bound_pruned`` counts strategies
+    skipped because their bound exceeded the incumbent, ``spm_pruned``
+    those skipped by the SPM-infeasibility prefilter (a subset of
+    ``EnumerationStats.pruned``).  ``passes`` breaks lowering +
+    optimization down per named IR pass.
     """
 
     enumeration: StageStats = field(default_factory=StageStats)
+    bounds: StageStats = field(default_factory=StageStats)
     lowering: StageStats = field(default_factory=StageStats)
     optimization: StageStats = field(default_factory=StageStats)
     prediction: StageStats = field(default_factory=StageStats)
     execution: StageStats = field(default_factory=StageStats)
     memo_hits: int = 0
+    ukernel_memo_hits: int = 0
+    bound_pruned: int = 0
+    spm_pruned: int = 0
     workers: int = 1
+    prune_batches: List[PruneBatch] = field(default_factory=list)
     passes: Dict[str, StageStats] = field(default_factory=dict)
 
     def stage_for(self, kind: str) -> StageStats:
@@ -66,14 +88,25 @@ class EngineMetrics:
         """Credit one execution of a named IR pass."""
         self.passes.setdefault(name, StageStats()).add(seconds)
 
+    def record_prune_batch(
+        self, considered: int, pruned: int, lowered: int
+    ) -> None:
+        """Log one batch of the branch-and-bound search."""
+        self.prune_batches.append(PruneBatch(considered, pruned, lowered))
+
     def merge(self, other: "EngineMetrics") -> None:
         self.enumeration.merge(other.enumeration)
+        self.bounds.merge(other.bounds)
         self.lowering.merge(other.lowering)
         self.optimization.merge(other.optimization)
         self.prediction.merge(other.prediction)
         self.execution.merge(other.execution)
         self.memo_hits += other.memo_hits
+        self.ukernel_memo_hits += other.ukernel_memo_hits
+        self.bound_pruned += other.bound_pruned
+        self.spm_pruned += other.spm_pruned
         self.workers = max(self.workers, other.workers)
+        self.prune_batches.extend(other.prune_batches)
         for name, stats in other.passes.items():
             self.passes.setdefault(name, StageStats()).merge(stats)
 
@@ -85,15 +118,27 @@ class EngineMetrics:
         return out
 
     def describe(self) -> str:
-        parts = [
-            f"enum {self.enumeration.describe()}",
+        parts = [f"enum {self.enumeration.describe()}"]
+        if self.bounds.count:
+            parts.append(f"bounds {self.bounds.describe()}")
+        parts += [
             f"lower {self.lowering.describe()}",
             f"opt {self.optimization.describe()}",
             f"predict {self.prediction.describe()}",
             f"execute {self.execution.describe()}",
         ]
+        if self.bound_pruned or self.spm_pruned:
+            considered = sum(b.considered for b in self.prune_batches)
+            note = f"pruned {self.bound_pruned}/{considered}"
+            if self.spm_pruned:
+                note += f" (+{self.spm_pruned} spm)"
+            if self.prune_batches:
+                note += f" in {len(self.prune_batches)} batches"
+            parts.append(note)
         if self.memo_hits:
             parts.append(f"memo {self.memo_hits}")
+        if self.ukernel_memo_hits:
+            parts.append(f"ukernel-memo {self.ukernel_memo_hits}")
         if self.workers > 1:
             parts.append(f"workers {self.workers}")
         return " | ".join(parts)

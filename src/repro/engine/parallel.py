@@ -77,7 +77,10 @@ def _run_parallel(
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork" if "fork" in methods else None)
         nw = min(workers, len(todo))
-        size = chunk_size or max(1, math.ceil(len(todo) / (nw * 4)))
+        # one chunk per worker: candidate costs within a batch are
+        # near-uniform (same compute, same pipeline), so finer-grained
+        # chunks only multiply pickling traffic without better balance.
+        size = chunk_size or max(1, math.ceil(len(todo) / nw))
         chunks = [
             todo[i : i + size] for i in range(0, len(todo), size)
         ]
@@ -139,6 +142,8 @@ def evaluate_batch(
             results[i] = evaluation
             if memo is not None:
                 memo.remember(cands[i], evaluation)
+        if memo is not None:
+            memo.flush()  # persist new scores at the batch boundary
     if metrics is not None:
         metrics.stage_for(inner.kind).add(
             time.perf_counter() - t0, count=len(todo)

@@ -27,15 +27,16 @@ from typing import Iterator, Optional
 
 from ..dsl.compute import ComputeDef
 from ..dsl.schedule import ScheduleSpace, ScheduleStrategy
-from ..errors import TuningError
+from ..errors import IllegalCandidateError, TuningError
 from ..machine.config import MachineConfig, default_config
 from ..passes.base import SPM_PLANNED, PassContext
 from ..passes.lowering import lowering_passes
 from ..passes.manager import PassManager
 from ..passes.optimize import optimize_passes
 from ..primitives.registry import PrimitiveRegistry
-from ..scheduler.enumerate import Candidate, EnumerationStats, iter_candidates
+from ..scheduler.enumerate import Candidate, EnumerationStats
 from ..scheduler.lower import LoweringOptions
+from .bounds import StrategyBound, definitely_infeasible, strategy_bound
 from .metrics import EngineMetrics
 
 
@@ -134,38 +135,69 @@ class CandidatePipeline:
         return self.optimize(Candidate(strategy, kernel, self.compute))
 
     # --- space enumeration ------------------------------------------------
-    def candidates(self, limit: Optional[int] = None) -> Iterator[Candidate]:
-        """Lazily yield every legal, optimized candidate of the space
-        (at most ``limit`` of them)."""
+    def strategies(self) -> Iterator[ScheduleStrategy]:
+        """Lazily walk every declared strategy of the space (legal or
+        not -- legality is only known after :meth:`realize`).  Charges
+        the pure walk to ``metrics.enumeration`` and counts
+        ``stats.declared``."""
         if self.space is None:
             raise TuningError(
                 f"pipeline for {self.compute.name!r} has no schedule space"
             )
-        it = iter_candidates(
-            self.compute, self.space, options=self.options,
-            config=self.config, registry=self.registry, stats=self.stats,
-            lower=lambda compute, strategy, **_: self._lower(strategy),
-        )
-        declared_seen = 0
-        legal = 0
+        it = self.space.strategies()
         sentinel = object()
         while True:
-            lower_seen = self.metrics.lowering.seconds
             t0 = time.perf_counter()
-            raw = next(it, sentinel)
+            strategy = next(it, sentinel)
             dt = time.perf_counter() - t0
-            # the lowering manager charged its share already; the walk
-            # itself is what remains
-            lowered = self.metrics.lowering.seconds - lower_seen
-            self.metrics.enumeration.add(
-                max(0.0, dt - lowered),
-                count=self.stats.declared - declared_seen,
-            )
-            declared_seen = self.stats.declared
-            if raw is sentinel:
+            if strategy is sentinel:
+                self.metrics.enumeration.add(dt, count=0)
                 return
+            self.stats.declared += 1
+            self.metrics.enumeration.add(dt)
+            yield strategy  # type: ignore[misc]
+
+    def bound_for(self, strategy: ScheduleStrategy) -> StrategyBound:
+        """Admissible pre-lowering cost bound (charges ``metrics.bounds``)."""
+        t0 = time.perf_counter()
+        bound = strategy_bound(self.compute, strategy, self.config)
+        self.metrics.bounds.add(time.perf_counter() - t0)
+        return bound
+
+    def realize(
+        self, strategy: ScheduleStrategy, *, prefilter: bool = False
+    ) -> Optional[Candidate]:
+        """Lower + optimize one declared strategy; ``None`` if illegal.
+
+        With ``prefilter`` the conservative SPM floor check runs first:
+        a strategy it rejects is *guaranteed* to fail SPM planning, so
+        the loop nest is never built (counted into ``stats.pruned`` and
+        ``metrics.spm_pruned``; the legal candidate set is unchanged).
+        """
+        if prefilter and definitely_infeasible(
+            self.compute, strategy, self.config, self.options
+        ):
+            self.stats.pruned += 1
+            self.metrics.spm_pruned += 1
+            return None
+        try:
+            kernel = self._lower(strategy)
+        except IllegalCandidateError:
+            self.stats.pruned += 1
+            return None
+        self.stats.legal += 1
+        return self.optimize(Candidate(strategy, kernel, self.compute))
+
+    def candidates(self, limit: Optional[int] = None) -> Iterator[Candidate]:
+        """Lazily yield every legal, optimized candidate of the space
+        (at most ``limit`` of them)."""
+        legal = 0
+        for strategy in self.strategies():
+            candidate = self.realize(strategy)
+            if candidate is None:
+                continue
             legal += 1
-            yield self.optimize(raw)
+            yield candidate
             if limit is not None and legal >= limit:
                 return
 

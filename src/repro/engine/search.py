@@ -1,0 +1,183 @@
+"""Branch-and-bound candidate search.
+
+The profile of a full-space tuning run is dominated by per-candidate
+IR work: at a 512^3 GEMM's 8192-strategy space, the walk costs ~0.01 s
+and bound computation ~0.1 s, while lowering + optimizing + predicting
+cost >11 s.  Every candidate whose *admissible* pre-IR bound
+(:mod:`repro.engine.bounds`) already exceeds the k-th best score found
+so far can skip all three stages without changing the outcome: the
+bound never exceeds the true score, so a pruned candidate can neither
+win nor enter the top-K.
+
+The driver is best-bound-first: all strategies are bounded up front
+(cheap), sorted by bound, and processed in fixed-size batches from the
+most promising end.  That finds a near-optimal incumbent in the first
+batch, and because bounds are sorted, the first bound above the
+incumbent threshold proves *every* remaining strategy prunable -- the
+search stops in one step instead of trickling through the tail.
+
+Determinism guarantees (tested in ``tests/engine/test_search.py``):
+
+* results are returned in enumeration order, so the caller's stable
+  sort breaks score ties exactly as the exhaustive walk does;
+* the batch size is a constant (not derived from the worker count), so
+  the set of evaluated candidates -- and therefore every counter and
+  the winner -- is identical at any ``--workers`` setting;
+* the pruning threshold is strict (``bound * BOUND_SAFETY >
+  threshold``), so candidates tying the k-th best score are always
+  evaluated and the returned top-K matches the exhaustive one
+  bit-for-bit.
+
+``set_default_prune`` is the process-wide knob behind the CLI's
+``--no-prune`` escape hatch, mirroring ``set_default_workers``.  With
+pruning off the search degrades to exactly the pre-bound behaviour:
+realize every candidate in enumeration order, score them in one batch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from ..scheduler.enumerate import Candidate
+from .bounds import BOUND_SAFETY
+from .evaluators import Evaluation, Evaluator
+from .parallel import evaluate_batch
+from .pipeline import CandidatePipeline
+
+__all__ = [
+    "PRUNE_BATCH",
+    "default_prune",
+    "resolve_prune",
+    "search_candidates",
+    "set_default_prune",
+]
+
+#: strategies realized + scored per branch-and-bound step.  A constant
+#: on purpose: deriving it from the worker count would make the set of
+#: evaluated candidates depend on the machine the search runs on.
+PRUNE_BATCH = 64
+
+_DEFAULT_PRUNE = True
+
+
+def set_default_prune(prune: bool) -> None:
+    """Set the process-wide pruning default (used by ``--no-prune``)."""
+    global _DEFAULT_PRUNE
+    _DEFAULT_PRUNE = bool(prune)
+
+
+def default_prune() -> bool:
+    return _DEFAULT_PRUNE
+
+
+def resolve_prune(prune: Optional[bool]) -> bool:
+    return _DEFAULT_PRUNE if prune is None else bool(prune)
+
+
+def _exhaustive(
+    pipeline: CandidatePipeline,
+    evaluator: Evaluator,
+    workers: Optional[int],
+    limit: Optional[int],
+) -> List[Tuple[Candidate, Evaluation]]:
+    """The prune-off path: realize everything, score in one batch."""
+    cands = list(pipeline.candidates(limit=limit))
+    if not cands:
+        return []
+    evals = evaluate_batch(
+        cands, evaluator, workers=workers, metrics=pipeline.metrics
+    )
+    return list(zip(cands, evals))
+
+
+def search_candidates(
+    pipeline: CandidatePipeline,
+    evaluator: Evaluator,
+    *,
+    top_k: int = 1,
+    workers: Optional[int] = None,
+    prune: Optional[bool] = None,
+    batch_size: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> List[Tuple[Candidate, Evaluation]]:
+    """Score the legal candidates of ``pipeline``'s space.
+
+    Returns ``(candidate, evaluation)`` pairs in enumeration order.
+    With pruning the list covers every candidate that could possibly
+    rank among the ``top_k`` best (plus whatever else was scored before
+    the bound threshold tightened); without, it covers the entire legal
+    space.  Either way, stably sorting the result by
+    ``evaluation.cycles`` yields an identical winner and top-K.
+
+    ``limit`` (first N legal candidates, a blackbox-tuner notion whose
+    meaning depends on enumeration order) forces the exhaustive path.
+    """
+    do_prune = resolve_prune(prune)
+    if not do_prune or limit is not None:
+        return _exhaustive(pipeline, evaluator, workers, limit)
+
+    strategies = list(pipeline.strategies())
+    bounds = [pipeline.bound_for(s) for s in strategies]
+    order = sorted(range(len(strategies)), key=lambda i: (bounds[i].cycles, i))
+
+    metrics = pipeline.metrics
+    keep = max(1, int(top_k))
+    worst_k: List[float] = []  # max-heap (negated) of the k best scores
+    threshold = float("inf")
+    batch = max(1, int(batch_size)) if batch_size else PRUNE_BATCH
+    scored: List[Tuple[int, Candidate, Evaluation]] = []
+
+    pos = 0
+    while pos < len(order):
+        if bounds[order[pos]].cycles * BOUND_SAFETY > threshold:
+            # bounds are sorted: everything from here on is prunable.
+            tail = len(order) - pos
+            metrics.bound_pruned += tail
+            metrics.record_prune_batch(considered=tail, pruned=tail, lowered=0)
+            break
+        # truncate the batch at the first bound above the threshold:
+        # bounds are sorted, so the next loop iteration's head check
+        # prunes everything from the cut onwards in one step.
+        end = min(pos + batch, len(order))
+        cut = pos + 1
+        while (
+            cut < end
+            and bounds[order[cut]].cycles * BOUND_SAFETY <= threshold
+        ):
+            cut += 1
+        take = order[pos:cut]
+        pos = cut
+
+        spm_before = metrics.spm_pruned
+        realized: List[Tuple[int, Candidate]] = []
+        for idx in take:
+            candidate = pipeline.realize(strategies[idx], prefilter=True)
+            if candidate is not None:
+                realized.append((idx, candidate))
+        metrics.record_prune_batch(
+            considered=len(take),
+            pruned=0,
+            lowered=len(take) - (metrics.spm_pruned - spm_before),
+        )
+        if not realized:
+            continue
+
+        evals = evaluate_batch(
+            [c for _, c in realized],
+            evaluator,
+            workers=workers,
+            metrics=metrics,
+        )
+        for (idx, candidate), evaluation in zip(realized, evals):
+            scored.append((idx, candidate, evaluation))
+            cycles = evaluation.cycles
+            if len(worst_k) < keep:
+                heapq.heappush(worst_k, -cycles)
+            elif cycles < -worst_k[0]:
+                heapq.heapreplace(worst_k, -cycles)
+        if len(worst_k) == keep:
+            threshold = -worst_k[0]
+
+    scored.sort(key=lambda item: item[0])
+    return [(candidate, evaluation) for _, candidate, evaluation in scored]

@@ -455,7 +455,12 @@ def tab3_tuning_time(
             # candidate cap was applied (real brute force runs them all)
             bb_seconds = bb.wall_seconds
             if scale.blackbox_limit is not None and bb.evaluated:
-                declared_legal = mm.evaluated  # model scored every legal one
+                # the model tuner scored every legal candidate it did
+                # not prove prunable; legal = scored + bound-pruned
+                # (reduces to plain `evaluated` under --no-prune)
+                declared_legal = mm.evaluated + (
+                    mm.metrics.bound_pruned if mm.metrics is not None else 0
+                )
                 bb_seconds *= max(1.0, declared_legal / bb.evaluated)
             rows.append(
                 TuningTimeRow(

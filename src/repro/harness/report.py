@@ -67,8 +67,10 @@ def stage_note(
     metrics: Optional[EngineMetrics], label: str = "engine"
 ) -> Optional[str]:
     """One table-note line of per-stage engine accounting: counts and
-    wall time for enumeration, lowering, optimization, prediction and
-    execution (the where-does-tuning-time-go breakdown behind Tab. 3)."""
+    wall time for enumeration, bounds, lowering, optimization,
+    prediction and execution, plus the branch-and-bound prune counters
+    (``pruned B/C (+S spm)``) and memo hits when non-zero (the
+    where-does-tuning-time-go breakdown behind Tab. 3)."""
     if metrics is None:
         return None
     return f"{label}: {metrics.describe()}"

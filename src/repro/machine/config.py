@@ -21,7 +21,7 @@ benchmarking literature it cites (Xu et al., IPDPSW'17):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Mapping
 
 #: Instruction classes understood by the dual-issue pipeline model.
@@ -170,6 +170,27 @@ class MachineConfig:
         """Return a copy with the given fields replaced (for what-if
         studies and tests)."""
         return replace(self, **kwargs)
+
+
+def config_signature(config: MachineConfig) -> tuple:
+    """Full hashable identity of a machine description.
+
+    Dataclass equality/hash deliberately exclude the ``latencies`` and
+    ``pipes`` tables (so configs stay cheap dict keys), which makes the
+    *config object itself* unsafe as a cache key: two configs differing
+    only in a latency table hash alike and silently share cached cost
+    results.  Every cache whose value depends on instruction timing
+    (micro-kernel schedules, Eq. (2) calibration fits, evaluation
+    memos) must key on this signature instead.
+    """
+    sig = []
+    for f in fields(config):
+        value = getattr(config, f.name)
+        if isinstance(value, Mapping):
+            sig.append((f.name, tuple(sorted(value.items()))))
+        else:
+            sig.append((f.name, value))
+    return tuple(sig)
 
 
 #: The default machine description used throughout the library.

@@ -19,7 +19,7 @@ come out slower because their extra scalar loads saturate P1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import PipelineError
 from .config import PIPE_ANY, PIPE_P0, PIPE_P1, MachineConfig, default_config
@@ -132,6 +132,7 @@ def steady_state_cycles(
     *,
     warmup_iters: int = 3,
     probe_iters: int = 2,
+    schedule_fn: Optional[Callable[..., ScheduleResult]] = None,
 ) -> int:
     """Per-iteration cycle cost of ``body`` executed as a loop.
 
@@ -139,14 +140,19 @@ def steady_state_cycles(
     registers renamed per iteration *not* applied -- loop-carried names
     are kept, so accumulation hazards across iterations are honoured)
     and reports the marginal cost of one steady-state iteration.
+
+    ``schedule_fn`` substitutes for :func:`schedule` (same call
+    contract); the micro-kernel layer passes its memoized wrapper here
+    so repeated derivations of the same body are answered from cache.
     """
     if not body:
         return 0
     if warmup_iters < 1 or probe_iters < 1:
         raise PipelineError("need at least one warmup and one probe iteration")
+    run = schedule_fn or schedule
     seq_a = list(body) * warmup_iters
     seq_b = list(body) * (warmup_iters + probe_iters)
-    a = schedule(seq_a, config).cycles
-    b = schedule(seq_b, config).cycles
+    a = run(seq_a, config).cycles
+    b = run(seq_b, config).cycles
     per_iter = (b - a) / probe_iters
     return int(round(per_iter))

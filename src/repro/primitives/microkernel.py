@@ -23,13 +23,12 @@ column- or row-major x vectorization along M or N.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import PipelineError
 from ..machine import vector as V
-from ..machine.config import MachineConfig, default_config
-from ..machine.pipeline import Instr, schedule, steady_state_cycles
+from ..machine.config import MachineConfig, config_signature, default_config
+from ..machine.pipeline import Instr, ScheduleResult, schedule, steady_state_cycles
 
 #: layout tags: which dimension is contiguous (leading) in SPM.
 ROW_MAJOR = "row_major"  # innermost = second index (K for A(M,K), N for B(K,N))
@@ -155,7 +154,84 @@ def _k_step_instrs(variant: KernelVariant, phase: str, other: str) -> List[Instr
     return out
 
 
-@lru_cache(maxsize=None)
+# ---------------------------------------------------------------------------
+# memoized pipeline scheduling
+# ---------------------------------------------------------------------------
+# The eight variants' cycle counts are re-derived thousands of times per
+# sweep (every calibration sample and every simulated GEMM leaf asks for
+# them).  The former per-function ``lru_cache`` keyed on the config
+# *object* was both wasteful -- the block-drain sequence is identical
+# across all eight variants, yet scheduled eight times -- and wrong:
+# dataclass hashing ignores the latency/pipe tables, so configs
+# differing only in instruction timing shared cached cycle counts.  The
+# memo below keys on (instruction-sequence signature, full machine
+# signature) instead.
+
+_SCHEDULE_MEMO: Dict[Tuple, ScheduleResult] = {}
+
+
+@dataclass
+class ScheduleMemoStats:
+    """Hit/miss accounting of the micro-kernel schedule memo."""
+
+    hits: int = 0
+    misses: int = 0
+
+
+_MEMO_STATS = ScheduleMemoStats()
+
+
+def schedule_memo_stats() -> ScheduleMemoStats:
+    """A snapshot of the memo's hit/miss counters."""
+    return ScheduleMemoStats(_MEMO_STATS.hits, _MEMO_STATS.misses)
+
+
+def clear_schedule_memo() -> None:
+    _SCHEDULE_MEMO.clear()
+    _CYCLE_MEMO.clear()
+    _MEMO_STATS.hits = 0
+    _MEMO_STATS.misses = 0
+
+
+def memoized_schedule(
+    instrs: List[Instr],
+    config: Optional[MachineConfig] = None,
+    *,
+    initial_ready: Optional[Dict[str, int]] = None,
+) -> ScheduleResult:
+    """:func:`~repro.machine.pipeline.schedule`, memoized.
+
+    The key is (instruction sequence, machine signature, initial
+    register readiness); :class:`Instr` is a frozen dataclass, so the
+    sequence hashes directly.
+    """
+    cfg = config or default_config()
+    key = (
+        tuple(instrs),
+        config_signature(cfg),
+        tuple(sorted((initial_ready or {}).items())),
+    )
+    hit = _SCHEDULE_MEMO.get(key)
+    if hit is not None:
+        _MEMO_STATS.hits += 1
+        return hit
+    _MEMO_STATS.misses += 1
+    result = schedule(instrs, cfg, initial_ready=initial_ready)
+    _SCHEDULE_MEMO[key] = result
+    return result
+
+
+_CYCLE_MEMO: Dict[Tuple, float] = {}
+
+
+def _variant_memo(name: str, variant: KernelVariant, cfg: MachineConfig):
+    key = (name, variant, config_signature(cfg))
+    hit = _CYCLE_MEMO.get(key)
+    if hit is not None:
+        _MEMO_STATS.hits += 1
+    return key, hit
+
+
 def cycles_per_k_step(
     variant: KernelVariant, config: Optional[MachineConfig] = None
 ) -> float:
@@ -165,16 +241,27 @@ def cycles_per_k_step(
     register) body; a hazard-free variant comes out at 16 cycles/step
     (one per vmad), matching Appendix 9.
     """
+    cfg = config or default_config()
+    key, hit = _variant_memo("k_step", variant, cfg)
+    if hit is not None:
+        return hit
     body = _k_step_instrs(variant, "e", "o") + _k_step_instrs(variant, "o", "e")
-    return steady_state_cycles(body, config) / 2.0
+    result = (
+        steady_state_cycles(body, cfg, schedule_fn=memoized_schedule) / 2.0
+    )
+    _CYCLE_MEMO[key] = result
+    return result
 
 
-@lru_cache(maxsize=None)
 def block_init_cycles(
     variant: KernelVariant, config: Optional[MachineConfig] = None
 ) -> int:
     """Cycles to load the 16-vector C block and prime the first k-step's
     operands before the steady-state loop starts."""
+    cfg = config or default_config()
+    key, hit = _variant_memo("block_init", variant, cfg)
+    if hit is not None:
+        return int(hit)
     instrs = [
         V.load_vector(f"c{i}_{j}", "cp")
         for i in range(BLOCK_VECS)
@@ -182,10 +269,11 @@ def block_init_cycles(
     ]
     # prime first operands (sequence identical to a k-step's load set)
     instrs += [ins for ins in _k_step_instrs(variant, "e", "e") if ins.op != "vmad"]
-    return schedule(instrs, config).cycles
+    result = memoized_schedule(instrs, cfg).cycles
+    _CYCLE_MEMO[key] = result
+    return result
 
 
-@lru_cache(maxsize=None)
 def block_drain_cycles(
     variant: KernelVariant, config: Optional[MachineConfig] = None
 ) -> int:
@@ -193,9 +281,13 @@ def block_drain_cycles(
 
     The final vmads are still in flight when the stores begin, so the
     drain is scheduled with the accumulators made ready only after one
-    full vmad latency.
+    full vmad latency.  The store sequence is variant-independent, so
+    all eight variants answer from one memo entry.
     """
     cfg = config or default_config()
+    key, hit = _variant_memo("block_drain", variant, cfg)
+    if hit is not None:
+        return int(hit)
     ready = {
         f"c{i}_{j}": cfg.latencies["vmad"]
         for i in range(BLOCK_VECS)
@@ -206,4 +298,6 @@ def block_drain_cycles(
         for i in range(BLOCK_VECS)
         for j in range(BLOCK_SCALARS)
     ]
-    return schedule(instrs, config, initial_ready=ready).cycles
+    result = memoized_schedule(instrs, cfg, initial_ready=ready).cycles
+    _CYCLE_MEMO[key] = result
+    return result

@@ -49,6 +49,7 @@ class AtopLibrary:
         *,
         quick: bool = True,
         cache_path: Optional[Union[str, Path]] = None,
+        eval_cache_path: Optional[Union[str, Path]] = None,
     ) -> None:
         self.config = config or default_config()
         self.quick = quick
@@ -57,6 +58,13 @@ class AtopLibrary:
             self.cache = KernelCache.load(self.cache_path)
         else:
             self.cache = KernelCache()
+        # the kernel cache above persists winning *strategies*; the
+        # eval cache persists individual candidate *scores*, so even a
+        # first-time tuning call warm-starts from earlier processes.
+        if eval_cache_path is not None:
+            from ..engine import set_eval_cache
+
+            set_eval_cache(eval_cache_path)
         self.stats = LibraryStats()
 
     # --- keys ------------------------------------------------------------

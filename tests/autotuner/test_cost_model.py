@@ -63,6 +63,20 @@ class TestEq2:
     def test_coeffs_cached(self):
         assert default_coeffs() == default_coeffs()
 
+    def test_coeffs_keyed_on_full_machine_signature(self):
+        """Two configs that compare equal (dataclass hashing skips the
+        latency tables) but time instructions differently must fit
+        different coefficients -- the old object-keyed lru_cache
+        silently handed the second config the first one's fit."""
+        base = default_config()
+        slow = base.with_overrides(
+            latencies={**base.latencies, "vmad": base.latencies["vmad"] + 32}
+        )
+        assert slow == base
+        assert default_coeffs(slow) != default_coeffs(base)
+        # and repeat queries still answer from the cache
+        assert default_coeffs(slow) == default_coeffs(slow)
+
 
 class TestEq1:
     def _dma(self, n_blocks, block, stride, descs=1):

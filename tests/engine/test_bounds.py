@@ -1,0 +1,152 @@
+"""Admissibility of the pre-IR strategy bounds.
+
+The branch-and-bound search is only allowed to prune a candidate when
+its bound provably cannot beat the incumbent; these tests check the
+"provably" part directly: over whole schedule spaces the bound (scaled
+by the comparison slack ``BOUND_SAFETY``) never exceeds the predicted
+score, never exceeds the measured score, and the SPM-infeasibility
+prefilter never rejects a strategy lowering would have accepted.
+"""
+
+import pytest
+
+from repro.dsl import ScheduleSpace
+from repro.dsl.schedule import ScheduleStrategy
+from repro.engine import (
+    BOUND_SAFETY,
+    AnalyticEvaluator,
+    CandidatePipeline,
+    SimulatorEvaluator,
+    definitely_infeasible,
+    strategy_bound,
+)
+from repro.engine.bounds import VACUOUS
+from repro.machine.config import default_config
+
+from ..scheduler.test_lower import gemm_cd
+
+
+def space_of(cd, splits):
+    sp = ScheduleSpace(cd)
+    sp.split("M", splits)
+    sp.split("N", splits)
+    sp.split("K", splits)
+    return sp
+
+
+SHAPES = [
+    (128, 128, 128, [32, 64]),
+    (96, 256, 64, [16, 32, 64]),
+    (64, 192, 128, [16, 32, 64]),
+]
+
+
+class TestAdmissibilityVsPrediction:
+    @pytest.mark.parametrize("m,n,k,splits", SHAPES)
+    def test_bound_never_exceeds_predicted_score(self, m, n, k, splits):
+        cd = gemm_cd(m, n, k)
+        pipe = CandidatePipeline(cd, space_of(cd, splits))
+        analytic = AnalyticEvaluator(config=pipe.config)
+        checked = 0
+        for cand in pipe.candidates():
+            bound = strategy_bound(cd, cand.strategy, pipe.config)
+            predicted = analytic.evaluate(cand).predicted_cycles
+            assert bound.cycles * BOUND_SAFETY <= predicted, (
+                f"inadmissible bound {bound.cycles} > {predicted} "
+                f"for {cand.strategy.decisions}"
+            )
+            checked += 1
+        assert checked > 0
+
+    def test_bound_admissible_under_modified_machine(self):
+        # a config whose DMA is twice as expensive and whose vmad
+        # latency differs: both the bound and the model must move
+        # together, with the inequality intact.
+        cfg = default_config().with_overrides(
+            dma_latency_cycles=3300,
+            dram_peak_bw=17.0e9,
+            latencies={**default_config().latencies, "vmad": 9},
+        )
+        cd = gemm_cd(96, 96, 96)
+        pipe = CandidatePipeline(cd, space_of(cd, [32, 96]), config=cfg)
+        analytic = AnalyticEvaluator(config=cfg)
+        for cand in pipe.candidates():
+            bound = strategy_bound(cd, cand.strategy, cfg)
+            predicted = analytic.evaluate(cand).predicted_cycles
+            assert bound.cycles * BOUND_SAFETY <= predicted
+
+
+class TestAdmissibilityVsMeasurement:
+    def test_bound_never_exceeds_measured_cycles(self):
+        cd = gemm_cd(64, 64, 64)
+        pipe = CandidatePipeline(cd, space_of(cd, [32, 64]))
+        sim = SimulatorEvaluator()
+        for cand in pipe.candidates():
+            bound = strategy_bound(cd, cand.strategy, pipe.config)
+            measured = sim.evaluate(cand).measured_cycles
+            assert bound.cycles * BOUND_SAFETY <= measured
+
+
+class TestBoundStructure:
+    def test_bound_is_max_of_dma_and_compute(self):
+        cd = gemm_cd(128, 128, 128)
+        strategy = ScheduleStrategy(
+            {"tile:M": 64, "tile:N": 64, "tile:K": 64}
+        )
+        bound = strategy_bound(cd, strategy)
+        assert bound.cycles == max(bound.dma_cycles, bound.compute_cycles)
+        assert bound.transfers > 0 and bound.dma_bytes > 0
+
+    def test_undecodable_strategy_gets_vacuous_bound(self):
+        cd = gemm_cd(64, 64, 64)
+        weird = ScheduleStrategy({"tile:M": "not-a-tile"})
+        assert strategy_bound(cd, weird) == VACUOUS
+        assert VACUOUS.cycles == 0.0  # never prunes
+
+    def test_slow_variant_has_larger_compute_bound(self):
+        cd = gemm_cd(128, 128, 128)
+        base = {"tile:M": 64, "tile:N": 64, "tile:K": 64}
+        fast = strategy_bound(
+            cd,
+            ScheduleStrategy(
+                {**base, "vec_dim": "M",
+                 "spm_layout:a": "col_major", "spm_layout:b": "col_major"}
+            ),
+        )
+        slow = strategy_bound(
+            cd,
+            ScheduleStrategy(
+                {**base, "vec_dim": "M",
+                 "spm_layout:a": "row_major", "spm_layout:b": "col_major"}
+            ),
+        )
+        assert slow.compute_cycles > fast.compute_cycles
+
+
+class TestSpmPrefilter:
+    def test_never_rejects_a_lowerable_strategy(self):
+        # a space that straddles the SPM capacity: some strategies fit,
+        # some overflow.  The prefilter may miss overflowing ones (it is
+        # a floor), but must never fire on one lowering accepts.
+        cd = gemm_cd(512, 512, 512)
+        sp = space_of(cd, [64, 256, 512])
+        pipe = CandidatePipeline(cd, sp)
+        fired = 0
+        for strategy in pipe.strategies():
+            infeasible = definitely_infeasible(
+                cd, strategy, pipe.config, pipe.options
+            )
+            candidate = pipe.realize(strategy)
+            if infeasible:
+                fired += 1
+                assert candidate is None, (
+                    f"prefilter rejected lowerable {strategy.decisions}"
+                )
+        assert fired > 0  # the space really exercises the filter
+
+    def test_small_tiles_are_not_flagged(self):
+        cd = gemm_cd(128, 128, 128)
+        strategy = ScheduleStrategy(
+            {"tile:M": 32, "tile:N": 32, "tile:K": 32}
+        )
+        assert not definitely_infeasible(cd, strategy)

@@ -11,6 +11,7 @@ from repro.engine import (
     EngineMetrics,
     MemoizingEvaluator,
     SimulatorEvaluator,
+    clear_feeds_cache,
     clip_strategy,
     compile_strategy,
     compute_signature,
@@ -179,6 +180,18 @@ class TestParallelBatch:
         for cand, ev in zip(cands, batch):
             assert ev.measured_cycles == sim.evaluate(cand).measured_cycles
 
+    def test_default_chunking_is_order_stable_at_any_width(self):
+        """The default chunk size is len/workers; whatever the split,
+        results[i] must belong to candidates[i]."""
+        cd, sp = small_space()
+        cands = list(CandidatePipeline(cd, sp).candidates())
+        reference = [
+            SimulatorEvaluator().evaluate(c).measured_cycles for c in cands
+        ]
+        for workers in (2, 3, len(cands)):
+            batch = evaluate_batch(cands, SimulatorEvaluator(), workers=workers)
+            assert [e.measured_cycles for e in batch] == reference
+
     def test_metrics_record_workers_and_counts(self):
         cd, sp = small_space()
         cands = list(CandidatePipeline(cd, sp).candidates())
@@ -196,3 +209,33 @@ class TestParallelBatch:
         assert metrics.prediction.count == len(cands)
         assert metrics.execution.count == 0
         assert all(e.predicted_cycles is not None for e in batch)
+
+
+class TestFeedsCache:
+    def test_repeat_calls_reuse_arrays(self):
+        cd, _ = small_space(64, 64, 64)
+        clear_feeds_cache()
+        first = synthetic_feeds(cd)
+        second = synthetic_feeds(cd)
+        assert first is not second  # callers get their own dict...
+        for name in first:
+            assert first[name] is second[name]  # ...over shared arrays
+            assert not first[name].flags.writeable
+
+    def test_seed_and_shape_separate_entries(self):
+        cd, _ = small_space(64, 64, 64)
+        other, _ = small_space(128, 64, 64)
+        assert synthetic_feeds(cd, seed=0)["A"] is not synthetic_feeds(
+            cd, seed=1
+        )["A"]
+        assert synthetic_feeds(cd)["A"].shape != synthetic_feeds(other)[
+            "A"
+        ].shape
+
+    def test_values_match_uncached_generation(self):
+        cd, _ = small_space(64, 64, 64)
+        cached = synthetic_feeds(cd, seed=7)
+        clear_feeds_cache()
+        fresh = synthetic_feeds(cd, seed=7)
+        for name in fresh:
+            np.testing.assert_array_equal(cached[name], fresh[name])

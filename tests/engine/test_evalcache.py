@@ -1,0 +1,163 @@
+"""The persistent evaluation cache and its MemoizingEvaluator tier."""
+
+import json
+
+import pytest
+
+from repro.dsl import ScheduleSpace
+from repro.engine import (
+    CandidatePipeline,
+    MemoizingEvaluator,
+    PersistentEvalStore,
+    SimulatorEvaluator,
+    default_eval_store,
+    evaluate_batch,
+    set_eval_cache,
+)
+from repro.engine.evalcache import EVAL_CACHE_VERSION
+
+from ..scheduler.test_lower import gemm_cd
+
+
+@pytest.fixture
+def candidate():
+    cd = gemm_cd(64, 64, 64)
+    sp = ScheduleSpace(cd)
+    sp.split("M", [32])
+    sp.split("N", [32])
+    sp.split("K", [32])
+    return next(CandidatePipeline(cd, sp).candidates())
+
+
+@pytest.fixture
+def no_default_store():
+    """Isolate tests from any process-wide eval cache."""
+    before = default_eval_store()
+    set_eval_cache(None)
+    yield
+    set_eval_cache(before)
+
+
+class TestPersistentEvalStore:
+    def test_roundtrip_across_reload(self, tmp_path, candidate, no_default_store):
+        path = tmp_path / "scores.json"
+        store = PersistentEvalStore(path)
+        memo = MemoizingEvaluator(
+            SimulatorEvaluator(), store={}, disk=store
+        )
+        first = memo.evaluate(candidate)
+        store.flush()
+        assert path.exists()
+
+        reloaded = PersistentEvalStore(path)
+        assert len(reloaded) == 1
+        sim = SimulatorEvaluator()
+        memo2 = MemoizingEvaluator(sim, store={}, disk=reloaded)
+        second = memo2.evaluate(candidate)
+        assert sim.executions == 0  # answered from disk, not re-simulated
+        assert second.memoized
+        assert second.measured_cycles == first.measured_cycles
+        assert reloaded.hits == 1 and memo2.disk_hits == 1
+
+    def test_salt_mismatch_discards_store(self, tmp_path, candidate, no_default_store):
+        path = tmp_path / "scores.json"
+        store = PersistentEvalStore(path, salt="code-v1")
+        MemoizingEvaluator(
+            SimulatorEvaluator(), store={}, disk=store
+        ).evaluate(candidate)
+        store.flush()
+
+        stale = PersistentEvalStore(path, salt="code-v2")
+        assert len(stale) == 0
+
+    def test_version_mismatch_discards_store(self, tmp_path, no_default_store):
+        path = tmp_path / "scores.json"
+        payload = {
+            "version": EVAL_CACHE_VERSION + 1,
+            "salt": PersistentEvalStore(tmp_path / "x.json").salt,
+            "entries": {"deadbeef": [1.0, 2.0]},
+        }
+        path.write_text(json.dumps(payload))
+        assert len(PersistentEvalStore(path)) == 0
+
+    def test_corrupt_file_starts_empty(self, tmp_path, no_default_store):
+        path = tmp_path / "scores.json"
+        path.write_text("{not json")
+        store = PersistentEvalStore(path)
+        assert len(store) == 0
+
+    def test_flush_is_atomic_and_idempotent(self, tmp_path, candidate, no_default_store):
+        path = tmp_path / "nested" / "scores.json"
+        store = PersistentEvalStore(path)
+        memo = MemoizingEvaluator(SimulatorEvaluator(), store={}, disk=store)
+        memo.evaluate(candidate)
+        store.flush()
+        mtime = path.stat().st_mtime_ns
+        store.flush()  # clean: must not rewrite
+        assert path.stat().st_mtime_ns == mtime
+        assert not list(path.parent.glob("*.tmp"))  # no temp litter
+
+    def test_reports_survive_the_disk_roundtrip(
+        self, tmp_path, candidate, no_default_store
+    ):
+        """Harness drivers read ``result.report.cycles`` (and .seconds,
+        .gflops) off warm runs, so the numeric report summary must come
+        back from disk with the requesting evaluator's config."""
+        path = tmp_path / "scores.json"
+        store = PersistentEvalStore(path)
+        memo = MemoizingEvaluator(SimulatorEvaluator(), store={}, disk=store)
+        original = memo.evaluate(candidate).report
+        assert original is not None
+        store.flush()
+
+        sim = SimulatorEvaluator()
+        hit = MemoizingEvaluator(
+            sim, store={}, disk=PersistentEvalStore(path)
+        ).evaluate(candidate)
+        assert hit.report is not None
+        assert hit.report.cycles == original.cycles
+        assert hit.report.dma_cycles == original.dma_cycles
+        assert hit.report.compute_cycles == original.compute_cycles
+        assert hit.report.bytes_moved == original.bytes_moved
+        assert hit.report.flops == original.flops
+        assert hit.report.config is sim.config  # rebuilt, clock intact
+        assert hit.report.seconds == original.seconds
+
+
+class TestProcessWideDefault:
+    def test_memoizer_picks_up_installed_cache(self, tmp_path, candidate):
+        before = default_eval_store()
+        try:
+            store = set_eval_cache(tmp_path / "scores.json")
+            sim = SimulatorEvaluator()
+            memo = MemoizingEvaluator(sim, store={})  # no explicit disk
+            assert memo.disk is store
+            memo.evaluate(candidate)
+            memo.flush()
+
+            fresh = SimulatorEvaluator()
+            again = MemoizingEvaluator(fresh, store={})
+            again.evaluate(candidate)
+            assert fresh.executions == 0
+        finally:
+            set_eval_cache(before)
+
+    def test_explicit_none_disables_disk(self, tmp_path, candidate):
+        before = default_eval_store()
+        try:
+            set_eval_cache(tmp_path / "scores.json")
+            memo = MemoizingEvaluator(SimulatorEvaluator(), store={}, disk=None)
+            assert memo.disk is None
+        finally:
+            set_eval_cache(before)
+
+    def test_batch_flushes_at_boundary(self, tmp_path, candidate):
+        before = default_eval_store()
+        try:
+            path = tmp_path / "scores.json"
+            set_eval_cache(path)
+            memo = MemoizingEvaluator(SimulatorEvaluator(), store={})
+            evaluate_batch([candidate], memo)
+            assert path.exists()  # no explicit flush() needed
+        finally:
+            set_eval_cache(before)

@@ -1,0 +1,195 @@
+"""Correctness guarantees of the branch-and-bound search.
+
+The contract: pruning changes how much work tuning does, never what it
+returns.  Winner and top-K must be bit-identical to the exhaustive
+walk, at any worker count, for any machine config.
+"""
+
+import pytest
+
+from repro.autotuner.model_tuner import tune_with_model
+from repro.dsl import ScheduleSpace
+from repro.engine import (
+    AnalyticEvaluator,
+    CandidatePipeline,
+    default_prune,
+    resolve_prune,
+    search_candidates,
+    set_default_prune,
+)
+from repro.machine.config import default_config
+
+from ..scheduler.test_lower import gemm_cd
+
+
+def make_pipeline(m, n, k, splits, config=None):
+    cd = gemm_cd(m, n, k)
+    sp = ScheduleSpace(cd)
+    sp.split("M", splits)
+    sp.split("N", splits)
+    sp.split("K", splits)
+    return CandidatePipeline(cd, sp, config=config)
+
+
+SPACES = [
+    (128, 128, 128, [32, 64, 128]),
+    (96, 256, 64, [16, 32, 64]),
+    (192, 64, 128, [32, 64]),
+]
+
+
+def strategies_of(pairs):
+    return [tuple(sorted(c.strategy.decisions.items())) for c, _ in pairs]
+
+
+class TestIdenticalResults:
+    @pytest.mark.parametrize("m,n,k,splits", SPACES)
+    @pytest.mark.parametrize("top_k", [1, 3])
+    def test_winner_and_topk_match_exhaustive(self, m, n, k, splits, top_k):
+        exhaustive = make_pipeline(m, n, k, splits)
+        full = search_candidates(
+            exhaustive, AnalyticEvaluator(config=exhaustive.config),
+            top_k=top_k, prune=False,
+        )
+        pruned_pipe = make_pipeline(m, n, k, splits)
+        pruned = search_candidates(
+            pruned_pipe, AnalyticEvaluator(config=pruned_pipe.config),
+            top_k=top_k, prune=True, batch_size=4,
+        )
+        assert pruned_pipe.metrics.bound_pruned > 0  # it really pruned
+
+        def ranked(pairs):
+            order = sorted(
+                range(len(pairs)), key=lambda i: pairs[i][1].cycles
+            )  # stable: enumeration order breaks ties, as the tuner does
+            return [
+                tuple(sorted(pairs[i][0].strategy.decisions.items()))
+                for i in order[:top_k]
+            ]
+
+        assert ranked(pruned) == ranked(full)
+
+    def test_identical_under_modified_machine(self):
+        cfg = default_config().with_overrides(
+            dma_latency_cycles=800, dram_peak_bw=68.0e9
+        )
+        full_pipe = make_pipeline(128, 128, 128, [32, 64, 128], config=cfg)
+        full = search_candidates(
+            full_pipe, AnalyticEvaluator(config=cfg), prune=False
+        )
+        pruned_pipe = make_pipeline(128, 128, 128, [32, 64, 128], config=cfg)
+        pruned = search_candidates(
+            pruned_pipe, AnalyticEvaluator(config=cfg), prune=True,
+            batch_size=4,
+        )
+        best_full = min(full, key=lambda p: p[1].cycles)
+        best_pruned = min(pruned, key=lambda p: p[1].cycles)
+        assert (
+            best_full[0].strategy.decisions == best_pruned[0].strategy.decisions
+        )
+        assert best_full[1].cycles == best_pruned[1].cycles
+
+    def test_model_tuner_winner_identical(self):
+        # a space larger than one PRUNE_BATCH, so the tuner-level path
+        # really exercises the branch-and-bound driver
+        cd = gemm_cd(128, 128, 128)
+        sp = ScheduleSpace(cd)
+        sp.split("M", [16, 32, 48, 64, 128])
+        sp.split("N", [16, 32, 48, 64, 128])
+        sp.split("K", [16, 32, 48, 64, 128])
+        off = tune_with_model(cd, sp, run_best=False, prune=False)
+        on = tune_with_model(cd, sp, run_best=False, prune=True)
+        assert (
+            off.best.candidate.strategy.decisions
+            == on.best.candidate.strategy.decisions
+        )
+        assert off.best.predicted_cycles == on.best.predicted_cycles
+        assert on.evaluated < off.evaluated  # and it was cheaper
+
+
+class TestDeterminism:
+    def test_results_are_in_enumeration_order(self):
+        pipe = make_pipeline(128, 128, 128, [32, 64, 128])
+        pairs = search_candidates(
+            pipe, AnalyticEvaluator(config=pipe.config), prune=True,
+            batch_size=4,
+        )
+        reference = make_pipeline(128, 128, 128, [32, 64, 128])
+        enum_order = {
+            tuple(sorted(c.strategy.decisions.items())): i
+            for i, c in enumerate(reference.candidates())
+        }
+        positions = [enum_order[s] for s in strategies_of(pairs)]
+        assert positions == sorted(positions)
+
+    def test_evaluated_set_is_worker_invariant(self):
+        serial_pipe = make_pipeline(96, 256, 64, [16, 32, 64])
+        serial = search_candidates(
+            serial_pipe, AnalyticEvaluator(config=serial_pipe.config),
+            prune=True, workers=1, batch_size=4,
+        )
+        parallel_pipe = make_pipeline(96, 256, 64, [16, 32, 64])
+        parallel = search_candidates(
+            parallel_pipe, AnalyticEvaluator(config=parallel_pipe.config),
+            prune=True, workers=3, batch_size=4,
+        )
+        assert strategies_of(serial) == strategies_of(parallel)
+        assert [e.cycles for _, e in serial] == [e.cycles for _, e in parallel]
+        assert (
+            serial_pipe.metrics.bound_pruned
+            == parallel_pipe.metrics.bound_pruned
+        )
+
+
+class TestAccounting:
+    def test_counters_partition_the_declared_space(self):
+        pipe = make_pipeline(128, 128, 128, [32, 64, 128])
+        pairs = search_candidates(
+            pipe, AnalyticEvaluator(config=pipe.config), prune=True,
+            batch_size=4,
+        )
+        # every declared strategy is exactly one of: scored, illegal
+        # (incl. SPM-prefiltered), or bound-pruned.
+        assert pipe.stats.declared == (
+            len(pairs) + pipe.stats.pruned + pipe.metrics.bound_pruned
+        )
+        assert pipe.metrics.spm_pruned <= pipe.stats.pruned
+        assert pipe.metrics.bounds.count == pipe.stats.declared
+        considered = sum(b.considered for b in pipe.metrics.prune_batches)
+        assert considered == pipe.stats.declared
+        assert (
+            sum(b.pruned for b in pipe.metrics.prune_batches)
+            == pipe.metrics.bound_pruned
+        )
+
+    def test_limit_forces_exhaustive_path(self):
+        pipe = make_pipeline(128, 128, 128, [32, 64])
+        pairs = search_candidates(
+            pipe, AnalyticEvaluator(config=pipe.config), prune=True, limit=3
+        )
+        assert len(pairs) == 3
+        assert pipe.metrics.bound_pruned == 0  # limit disables pruning
+
+
+class TestGlobalDefault:
+    def test_set_default_prune_round_trips(self):
+        before = default_prune()
+        try:
+            set_default_prune(False)
+            assert resolve_prune(None) is False
+            assert resolve_prune(True) is True
+            set_default_prune(True)
+            assert resolve_prune(None) is True
+            assert resolve_prune(False) is False
+        finally:
+            set_default_prune(before)
+
+    def test_search_honours_global_off(self):
+        before = default_prune()
+        try:
+            set_default_prune(False)
+            pipe = make_pipeline(128, 128, 128, [32, 64])
+            search_candidates(pipe, AnalyticEvaluator(config=pipe.config))
+            assert pipe.metrics.bound_pruned == 0
+        finally:
+            set_default_prune(before)

@@ -12,6 +12,7 @@ from repro.primitives.microkernel import (
     block_drain_cycles,
     block_init_cycles,
     cycles_per_k_step,
+    schedule_memo_stats,
 )
 
 
@@ -81,3 +82,36 @@ class TestInitDrain:
     def test_results_cached(self):
         v = KernelVariant(COL_MAJOR, COL_MAJOR, "M")
         assert cycles_per_k_step(v) == cycles_per_k_step(v)
+
+
+class TestScheduleMemo:
+    def test_repeat_queries_hit_the_memo(self):
+        v = KernelVariant(COL_MAJOR, ROW_MAJOR, "N")
+        cycles_per_k_step(v)  # may miss or hit (shared across tests)
+        before = schedule_memo_stats().hits
+        cycles_per_k_step(v)
+        after = schedule_memo_stats().hits
+        assert after == before + 1
+
+    def test_latency_table_splits_memo_entries(self):
+        """The old lru_cache keyed on the config object, whose hash
+        ignores the latency table -- two configs differing only in vmad
+        latency shared one cached cycle count.  The signature-keyed
+        memo must keep them apart."""
+        v = KernelVariant(COL_MAJOR, COL_MAJOR, "M")
+        base = default_config()
+        slow = base.with_overrides(
+            latencies={**base.latencies, "vmad": base.latencies["vmad"] + 32}
+        )
+        assert slow == base  # dataclass equality is latency-blind...
+        assert cycles_per_k_step(v, slow) > cycles_per_k_step(v, base)
+
+    def test_drain_shared_across_variants(self):
+        """The store sequence is variant-independent: after one variant
+        warmed the memo, every other variant's drain is a pure hit."""
+        drains = {block_drain_cycles(v) for v in ALL_VARIANTS}
+        assert len(drains) == 1
+        before = schedule_memo_stats().hits
+        for v in ALL_VARIANTS:
+            block_drain_cycles(v)
+        assert schedule_memo_stats().hits == before + len(ALL_VARIANTS)
