@@ -89,6 +89,31 @@ def main(argv=None) -> int:
              "strategies scored in earlier processes",
     )
     parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="checkpoint every branch-and-bound search into DIR "
+             "(one versioned JSON sidecar per search, written "
+             "atomically at batch boundaries)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore matching checkpoints from the --checkpoint "
+             "directory before searching; an interrupted run finishes "
+             "with a bit-identical result",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for resilience testing, "
+             "e.g. 'seed=7,crash=0.02,corrupt=0.1,poison=ab12'; sites: "
+             "crash/exception/hang/corrupt rates in [0,1], poison= a "
+             "candidate-digest hex prefix that always fails "
+             "(see repro.faults.FaultPlan.parse)",
+    )
+    parser.add_argument(
         "--dump-ir",
         nargs="?",
         const="all",
@@ -108,6 +133,21 @@ def main(argv=None) -> int:
         from .engine import set_default_prune
 
         set_default_prune(False)
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint DIR")
+    if args.checkpoint is not None:
+        from .engine import set_default_checkpoint
+
+        set_default_checkpoint(args.checkpoint, resume=args.resume)
+    if args.inject_faults is not None:
+        from .faults import FaultPlan, set_fault_plan
+
+        try:
+            plan = FaultPlan.parse(args.inject_faults)
+        except ValueError as exc:
+            parser.error(f"--inject-faults: {exc}")
+        set_fault_plan(plan)
+        print(f"[fault injection: {plan.describe()}]", file=sys.stderr)
     eval_store = None
     if args.eval_cache is not None:
         from .engine import set_eval_cache

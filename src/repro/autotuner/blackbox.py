@@ -17,7 +17,8 @@ force, and answering from a warm memo would corrupt that measurement
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -51,6 +52,8 @@ def tune_blackbox(
     workers: Optional[int] = None,
     memoize: bool = False,
     prune: bool = False,
+    checkpoint: Union[None, str, Path] = None,
+    resume_from: Union[None, str, Path] = None,
 ) -> TuningResult:
     """Execute every legal candidate; return the measured best.
 
@@ -63,6 +66,13 @@ def tune_blackbox(
     exists to measure the true cost of brute force.  Opt in explicitly
     when the cost is not the point -- the admissible bound holds
     against measured cycles too, so the winner is unchanged.
+
+    ``checkpoint``/``resume_from`` checkpoint the (pruned) search at
+    batch boundaries exactly as in ``tune_with_model``; the exhaustive
+    path is a single batch with nothing to resume.  Quarantined
+    candidates (see DESIGN.md "Failure model & recovery") are excluded
+    from the winner; tuning only fails when *every* candidate was
+    quarantined.
     """
     cfg = config or default_config()
     data = feeds if feeds is not None else synthetic_feeds(compute)
@@ -76,16 +86,29 @@ def tune_blackbox(
         simulator = MemoizingEvaluator(
             simulator, salt=_memo_salt(options, prefetch)
         )
+    if resume_from is not None:
+        checkpoint, resume = resume_from, True
+    else:
+        resume = None
     pairs = search_candidates(
         pipeline,
         simulator,
         workers=workers,
         prune=bool(prune),
         limit=limit,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     if not pairs:
         raise TuningError(
             f"schedule space of {compute.name!r} has no legal candidates"
+        )
+    usable = [(c, e) for c, e in pairs if not e.failed]
+    if not usable:
+        raise TuningError(
+            f"every candidate of {compute.name!r} was quarantined "
+            f"({len(pairs)} failures); see the engine events for the "
+            f"failure chain"
         )
 
     scores = [
@@ -94,7 +117,7 @@ def tune_blackbox(
             measured_cycles=e.measured_cycles,
             report=e.report,
         )
-        for c, e in pairs
+        for c, e in usable
     ]
     # min() keeps the first of equals -- same tie-break as the seed's
     # strict-less scan, so results are stable across worker counts.

@@ -15,7 +15,8 @@ enumerate -> optimize loop, evaluators own prediction/execution, and
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -67,6 +68,8 @@ def tune_with_model(
     workers: Optional[int] = None,
     memoize: bool = True,
     prune: Optional[bool] = None,
+    checkpoint: Union[None, str, Path] = None,
+    resume_from: Union[None, str, Path] = None,
 ) -> TuningResult:
     """Rank all candidates analytically; execute the best.
 
@@ -82,26 +85,50 @@ def tune_with_model(
     never lowered or scored.  The winner and the re-measured top-K are
     bit-identical either way; only ``evaluated`` and the stage
     counters change.
+
+    ``checkpoint`` names a sidecar the search updates at every batch
+    boundary; ``resume_from`` both names it and restores it, so an
+    interrupted ``tune_with_model`` finishes with a bit-identical
+    result.  Candidates quarantined by supervision (see
+    DESIGN.md "Failure model & recovery") are excluded from ranking;
+    tuning only fails if *every* candidate was quarantined.
     """
     cfg = config or default_config()
     t0 = time.perf_counter()
     ukernel_before = schedule_memo_stats().hits
+    if resume_from is not None:
+        checkpoint, resume = resume_from, True
+    else:
+        resume = None
 
     pipeline = CandidatePipeline(
         compute, space, options=options, config=cfg, prefetch=prefetch
     )
     analytic = AnalyticEvaluator(coeffs, cfg)
     pairs = search_candidates(
-        pipeline, analytic, top_k=max(1, top_k), workers=workers, prune=prune
+        pipeline,
+        analytic,
+        top_k=max(1, top_k),
+        workers=workers,
+        prune=prune,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     if not pairs:
         raise TuningError(
             f"schedule space of {compute.name!r} has no legal candidates"
         )
+    usable = [(c, e) for c, e in pairs if not e.failed]
+    if not usable:
+        raise TuningError(
+            f"every candidate of {compute.name!r} was quarantined "
+            f"({len(pairs)} failures); see the engine events for the "
+            f"failure chain"
+        )
 
     scored = [
         CandidateScore(candidate=c, predicted_cycles=e.predicted_cycles)
-        for c, e in pairs
+        for c, e in usable
     ]
     scored.sort(key=lambda s: s.predicted_cycles or float("inf"))
 
@@ -121,7 +148,15 @@ def tune_with_model(
             workers=workers,
             metrics=pipeline.metrics,
         )
+        if all(evaluation.failed for evaluation in measured):
+            raise TuningError(
+                f"every finalist of {compute.name!r} was quarantined "
+                f"during measurement; see the engine events for the "
+                f"failure chain"
+            )
         for score, evaluation in zip(finalists, measured):
+            if evaluation.failed:
+                continue  # keeps measured_cycles None -> sorts last
             score.measured_cycles = evaluation.measured_cycles
             score.report = evaluation.report
         finalists.sort(key=lambda s: s.measured_cycles or float("inf"))

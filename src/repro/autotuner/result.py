@@ -60,4 +60,6 @@ class TuningResult:
         )
         if self.metrics is not None:
             text += f"\n  engine: {self.metrics.describe()}"
+            if self.metrics.events or self.metrics.events_dropped:
+                text += f"\n  resilience: {self.metrics.describe_events()}"
         return text

@@ -11,6 +11,13 @@ The branch-and-bound layer (:mod:`~repro.engine.bounds` +
 are given an admissible pre-IR cost bound and only the ones that could
 still beat the incumbent are lowered and scored; the rest are pruned
 without ever existing as IR.
+
+Evaluation is supervised (:mod:`~repro.engine.parallel`): worker
+failures are retried, bisected to the failing candidate and quarantined
+as :class:`FailedEvaluation` records instead of aborting the sweep, and
+the branch-and-bound driver checkpoints its state at batch boundaries
+(:mod:`~repro.engine.checkpoint`) so an interrupted sweep resumes to a
+bit-identical result.  See DESIGN.md "Failure model & recovery".
 """
 
 from .bounds import (
@@ -19,15 +26,25 @@ from .bounds import (
     definitely_infeasible,
     strategy_bound,
 )
+from .checkpoint import (
+    SearchCheckpoint,
+    default_checkpoint_policy,
+    search_digest,
+    set_default_checkpoint,
+)
 from .evalcache import (
     PersistentEvalStore,
+    atomic_write_json,
     default_eval_store,
+    quarantine_corrupt,
+    recover_truncated_json,
     set_eval_cache,
 )
 from .evaluators import (
     AnalyticEvaluator,
     Evaluation,
     Evaluator,
+    FailedEvaluation,
     MemoizingEvaluator,
     SimulatorEvaluator,
     clear_feeds_cache,
@@ -37,11 +54,15 @@ from .evaluators import (
     strategy_key,
     synthetic_feeds,
 )
-from .metrics import EngineMetrics, PruneBatch, StageStats
+from .metrics import EngineEvent, EngineMetrics, PruneBatch, StageStats
 from .parallel import (
+    SupervisionPolicy,
     default_workers,
     evaluate_batch,
+    reset_degradation_warnings,
+    resolve_policy,
     resolve_workers,
+    set_default_policy,
     set_default_workers,
 )
 from .pipeline import CandidatePipeline, clip_strategy, compile_strategy
@@ -56,28 +77,41 @@ __all__ = [
     "AnalyticEvaluator",
     "BOUND_SAFETY",
     "CandidatePipeline",
+    "EngineEvent",
     "EngineMetrics",
     "Evaluation",
     "Evaluator",
+    "FailedEvaluation",
     "MemoizingEvaluator",
     "PersistentEvalStore",
     "PruneBatch",
+    "SearchCheckpoint",
     "SimulatorEvaluator",
     "StageStats",
     "StrategyBound",
+    "SupervisionPolicy",
+    "atomic_write_json",
     "clear_feeds_cache",
     "clear_shared_memo",
     "clip_strategy",
     "compile_strategy",
     "compute_signature",
+    "default_checkpoint_policy",
     "default_eval_store",
     "default_prune",
     "default_workers",
     "definitely_infeasible",
     "evaluate_batch",
+    "quarantine_corrupt",
+    "recover_truncated_json",
+    "reset_degradation_warnings",
+    "resolve_policy",
     "resolve_prune",
     "resolve_workers",
     "search_candidates",
+    "search_digest",
+    "set_default_checkpoint",
+    "set_default_policy",
     "set_default_prune",
     "set_default_workers",
     "set_eval_cache",

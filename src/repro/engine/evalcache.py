@@ -27,6 +27,14 @@ Design points:
 * Writes are **atomic** (temp file + rename) and deferred: callers
   flush at batch boundaries (``evaluate_batch`` does this), so a tuning
   loop is never slowed by per-candidate disk traffic.
+* Loading is **corruption-safe**: a truncated file (a process killed
+  mid-write on a filesystem without atomic rename, a torn copy) gives
+  up only the *unparseable suffix* -- the valid prefix of entries is
+  recovered, still subject to the per-file version/salt check.  Each
+  surviving entry is validated individually; malformed entries are
+  skipped and counted.  An unrecoverable file is quarantined to a
+  ``*.corrupt`` sidecar with a logged reason so the evidence survives
+  for diagnosis instead of being overwritten on the next flush.
 
 ``set_eval_cache`` installs a process-wide default store (the CLI's
 ``--eval-cache PATH`` and ``AtopLibrary(eval_cache_path=...)`` both
@@ -38,6 +46,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import numbers
 import os
 import tempfile
 from pathlib import Path
@@ -51,9 +61,14 @@ __all__ = [
     "CODE_SALT",
     "EVAL_CACHE_VERSION",
     "PersistentEvalStore",
+    "atomic_write_json",
     "default_eval_store",
+    "quarantine_corrupt",
+    "recover_truncated_json",
     "set_eval_cache",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: bump on incompatible changes to the on-disk layout.
 EVAL_CACHE_VERSION = 2
@@ -77,13 +92,13 @@ _REPORT_FIELDS = (
 )
 
 
-def _report_to_dict(report: Optional[SimReport]) -> Optional[dict]:
+def report_to_dict(report: Optional[SimReport]) -> Optional[dict]:
     if report is None:
         return None
     return {name: getattr(report, name) for name in _REPORT_FIELDS}
 
 
-def _report_from_dict(
+def report_from_dict(
     raw: Optional[dict], config: Optional[MachineConfig]
 ) -> Optional[SimReport]:
     if raw is None:
@@ -91,6 +106,124 @@ def _report_from_dict(
     return SimReport(
         config=config or default_config(),
         **{name: raw[name] for name in _REPORT_FIELDS if name in raw},
+    )
+
+
+# private aliases kept for older call sites
+_report_to_dict = report_to_dict
+_report_from_dict = report_from_dict
+
+
+# --- shared persistence helpers ---------------------------------------
+def atomic_write_json(path: Union[str, Path], payload: dict) -> None:
+    """Write JSON via temp-file-then-rename so readers never observe a
+    partial file (shared by the eval store, the kernel cache and the
+    search checkpoints)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def quarantine_corrupt(path: Union[str, Path], reason: str) -> Optional[Path]:
+    """Move an unreadable persistence file to a ``*.corrupt`` sidecar
+    (replacing an older sidecar) and log why.  Returns the sidecar
+    path, or ``None`` when the move itself failed."""
+    path = Path(path)
+    sidecar = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, sidecar)
+    except OSError as exc:
+        logger.warning(
+            "could not quarantine corrupt file %s (%s): %s", path, reason, exc
+        )
+        return None
+    logger.warning("quarantined corrupt file %s -> %s: %s", path, sidecar, reason)
+    return sidecar
+
+
+def _skip_ws(text: str, i: int) -> int:
+    while i < len(text) and text[i] in " \t\r\n":
+        i += 1
+    return i
+
+
+def _skip_ws_comma(text: str, i: int) -> int:
+    i = _skip_ws(text, i)
+    if i < len(text) and text[i] == ",":
+        i = _skip_ws(text, i + 1)
+    return i
+
+
+def recover_truncated_json(text: str) -> Dict:
+    """Best-effort parse of a truncated single-object JSON document.
+
+    Walks the top-level object key by key with
+    :meth:`json.JSONDecoder.raw_decode`; for an ``"entries"`` object
+    every fully-parsed ``key: value`` pair is kept and parsing stops at
+    the first incomplete one.  Anything recovered before the
+    truncation point (including the ``version``/``salt`` header, which
+    the flush layout writes first) survives.
+    """
+    dec = json.JSONDecoder()
+    out: Dict = {}
+    try:
+        i = _skip_ws(text, 0)
+        if text[i] != "{":
+            return out
+        i += 1
+        while True:
+            i = _skip_ws_comma(text, i)
+            if text[i] == "}":
+                break
+            key, i = dec.raw_decode(text, i)
+            i = _skip_ws(text, i)
+            if text[i] != ":":
+                break
+            i = _skip_ws(text, i + 1)
+            if key == "entries" and i < len(text) and text[i] == "{":
+                entries: Dict = {}
+                out["entries"] = entries
+                i += 1
+                while True:
+                    i = _skip_ws_comma(text, i)
+                    if text[i] == "}":
+                        i += 1
+                        break
+                    ekey, i = dec.raw_decode(text, i)
+                    i = _skip_ws(text, i)
+                    if text[i] != ":":
+                        raise ValueError("truncated entry")
+                    i = _skip_ws(text, i + 1)
+                    value, i = dec.raw_decode(text, i)
+                    entries[ekey] = value
+            else:
+                value, i = dec.raw_decode(text, i)
+                out[key] = value
+            i = _skip_ws(text, i)
+            if i >= len(text):
+                break
+            if text[i] == "}":
+                break
+    except (ValueError, IndexError):
+        pass  # truncation point reached: keep what was fully parsed
+    return out
+
+
+def _valid_number(value) -> bool:
+    return value is None or (
+        isinstance(value, numbers.Real) and not isinstance(value, bool)
     )
 
 
@@ -107,10 +240,15 @@ class PersistentEvalStore:
         self.salt = salt
         self.hits = 0
         self.misses = 0
+        #: corruption-recovery accounting of the initial load
+        self.recovered = False
+        self.invalid_entries = 0
+        self.quarantined_path: Optional[Path] = None
         self._entries: Dict[
             str, Tuple[Optional[float], Optional[float], Optional[dict]]
         ] = {}
         self._dirty = False
+        self._flush_seq = 0
         self._load()
 
     # --- persistence ---------------------------------------------------
@@ -118,17 +256,73 @@ class PersistentEvalStore:
         if not self.path.exists():
             return
         try:
-            raw = json.loads(self.path.read_text())
-        except (OSError, ValueError):
-            return  # unreadable/corrupt: start empty, overwrite on flush
+            text = self.path.read_text()
+        except OSError as exc:
+            logger.warning("eval cache %s unreadable: %s", self.path, exc)
+            return
+        try:
+            raw = json.loads(text)
+        except ValueError as exc:
+            raw = recover_truncated_json(text)
+            if not isinstance(raw.get("entries"), dict):
+                # nothing salvageable: keep the evidence, start empty
+                self.quarantined_path = quarantine_corrupt(
+                    self.path, f"unparseable JSON ({exc})"
+                )
+                self._dirty = True
+                return
+            self.recovered = True
+            logger.warning(
+                "eval cache %s is truncated (%s); recovered the valid "
+                "prefix of %d entries",
+                self.path,
+                exc,
+                len(raw["entries"]),
+            )
+        if not isinstance(raw, dict):
+            self.quarantined_path = quarantine_corrupt(
+                self.path, f"top-level JSON is {type(raw).__name__}, not object"
+            )
+            self._dirty = True
+            return
         if (
             raw.get("version") != EVAL_CACHE_VERSION
             or raw.get("salt") != self.salt
         ):
             self._dirty = True  # stale store: rewrite on next flush
             return
-        for digest, (pred, meas, report) in raw.get("entries", {}).items():
-            self._entries[digest] = (pred, meas, report)
+        entries = raw.get("entries", {})
+        if not isinstance(entries, dict):
+            entries = {}
+        for digest, value in entries.items():
+            entry = self._validate_entry(digest, value)
+            if entry is None:
+                self.invalid_entries += 1
+                continue
+            self._entries[digest] = entry
+        if self.invalid_entries:
+            self._dirty = True  # rewrite without the bad entries
+            logger.warning(
+                "eval cache %s: skipped %d malformed entries",
+                self.path,
+                self.invalid_entries,
+            )
+        if self.recovered:
+            self._dirty = True  # persist the recovered prefix cleanly
+
+    @staticmethod
+    def _validate_entry(digest, value):
+        """One entry's schema check: (predicted, measured, report)."""
+        if not isinstance(digest, str):
+            return None
+        if not isinstance(value, (list, tuple)) or len(value) != 3:
+            return None
+        pred, meas, report = value
+        if not _valid_number(pred) or not _valid_number(meas):
+            return None
+        if report is not None and not isinstance(report, dict):
+            return None
+        return (pred, meas, report)
 
     def flush(self) -> None:
         """Atomically write pending entries to disk (no-op when clean)."""
@@ -139,21 +333,38 @@ class PersistentEvalStore:
             "salt": self.salt,
             "entries": {d: list(v) for d, v in self._entries.items()},
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, self.path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(self.path, payload)
         self._dirty = False
+        self._inject_flush_faults()
+        self._flush_seq += 1
+
+    def _inject_flush_faults(self) -> None:
+        """Chaos hook: an active ``corrupt`` fault truncates the file
+        just written, simulating a torn write the next load must
+        survive."""
+        from ..faults import active_fault_plan
+
+        plan = active_fault_plan()
+        if plan is None:
+            return
+        if not plan.should_fire(
+            "corrupt", f"{self.path.name}:{self._flush_seq}"
+        ):
+            return
+        try:
+            data = self.path.read_bytes()
+            cut = max(1, int(len(data) * 0.6))
+            self.path.write_bytes(data[:cut])
+            self._dirty = True  # in-memory entries still pending
+            logger.warning(
+                "fault injection: truncated %s to %d/%d bytes (flush #%d)",
+                self.path,
+                cut,
+                len(data),
+                self._flush_seq,
+            )
+        except OSError:  # pragma: no cover - injection is best-effort
+            pass
 
     # --- mapping -------------------------------------------------------
     @staticmethod
@@ -176,11 +387,13 @@ class PersistentEvalStore:
         return Evaluation(
             predicted_cycles=predicted,
             measured_cycles=measured,
-            report=_report_from_dict(report, config),
+            report=report_from_dict(report, config),
             memoized=True,
         )
 
     def put(self, key: Tuple, evaluation: Evaluation) -> None:
+        if evaluation.failed:
+            return  # quarantined candidates never reach the disk store
         if (
             evaluation.predicted_cycles is None
             and evaluation.measured_cycles is None
@@ -190,7 +403,7 @@ class PersistentEvalStore:
         entry = (
             evaluation.predicted_cycles,
             evaluation.measured_cycles,
-            _report_to_dict(evaluation.report),
+            report_to_dict(evaluation.report),
         )
         if self._entries.get(digest) == entry:
             return
@@ -201,10 +414,17 @@ class PersistentEvalStore:
         return len(self._entries)
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{len(self._entries)} entries at {self.path} "
             f"({self.hits} hits / {self.misses} misses)"
         )
+        if self.recovered:
+            text += " [recovered from truncated file]"
+        if self.invalid_entries:
+            text += f" [{self.invalid_entries} malformed entries skipped]"
+        if self.quarantined_path is not None:
+            text += f" [corrupt original at {self.quarantined_path}]"
+        return text
 
 
 #: the process-wide default store (None = persistence disabled).

@@ -83,6 +83,9 @@ class Evaluation:
     report: Optional[SimReport] = None
     memoized: bool = False
 
+    #: overridden by :class:`FailedEvaluation`; callers filter on it.
+    failed = False
+
     @property
     def cycles(self) -> float:
         if self.measured_cycles is not None:
@@ -90,6 +93,57 @@ class Evaluation:
         if self.predicted_cycles is not None:
             return self.predicted_cycles
         raise ValueError("candidate was never evaluated")
+
+
+@dataclass(frozen=True)
+class FailedEvaluation(Evaluation):
+    """A candidate whose evaluation was quarantined by supervision.
+
+    Carries the full diagnosis (failure site, exception chain, attempt
+    count) instead of aborting the sweep or silently serializing the
+    batch.  ``cycles`` is ``inf`` so a failed candidate can never win
+    or enter the top-K; tuners and the branch-and-bound incumbent both
+    skip entries with ``failed`` set.
+    """
+
+    site: str = "exception"  # "crash" | "exception" | "hang"
+    error_type: str = ""
+    error_message: str = ""
+    error_chain: Tuple[str, ...] = ()
+    attempts: int = 0
+
+    failed = True
+
+    @property
+    def cycles(self) -> float:
+        return float("inf")
+
+    def describe(self) -> str:
+        return (
+            f"[{self.site}] {self.error_type}: {self.error_message} "
+            f"(after {self.attempts} attempts)"
+        )
+
+    @classmethod
+    def from_exception(
+        cls, exc: BaseException, *, site: str, attempts: int
+    ) -> "FailedEvaluation":
+        """Capture an exception (and its cause/context chain) as a
+        structured failure record."""
+        chain = []
+        seen = set()
+        e: Optional[BaseException] = exc
+        while e is not None and id(e) not in seen and len(chain) < 10:
+            seen.add(id(e))
+            chain.append(f"{type(e).__name__}: {e}")
+            e = e.__cause__ or e.__context__
+        return cls(
+            site=site,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            error_chain=tuple(chain),
+            attempts=attempts,
+        )
 
 
 def _dim_key(dim):
@@ -287,6 +341,8 @@ class MemoizingEvaluator(Evaluator):
         return None
 
     def remember(self, candidate: Candidate, evaluation: Evaluation) -> None:
+        if evaluation.failed:
+            return  # quarantined candidates must never poison the memo
         key = self.key(candidate)
         self.store[key] = replace(evaluation, memoized=False)
         disk = self.disk

@@ -47,6 +47,21 @@ class PruneBatch:
 
 
 @dataclass
+class EngineEvent:
+    """One explicit resilience event (degradation, retry, bisection,
+    quarantine, checkpoint restore, cache quarantine) -- the audit
+    trail that replaces silent fallback."""
+
+    kind: str
+    detail: str
+
+
+#: events kept per EngineMetrics instance; chaos runs can emit many
+#: thousands, and the trace only needs to show the shape of a run.
+MAX_EVENTS = 256
+
+
+@dataclass
 class EngineMetrics:
     """Stage-by-stage accounting of one (or several merged) tuning runs.
 
@@ -64,6 +79,17 @@ class EngineMetrics:
     those skipped by the SPM-infeasibility prefilter (a subset of
     ``EnumerationStats.pruned``).  ``passes`` breaks lowering +
     optimization down per named IR pass.
+
+    The resilience counters account for the supervised evaluation
+    path: ``degraded_batches`` counts batches that fell back from
+    parallel to serial dispatch (pool creation / pickling failure),
+    ``retries`` counts re-dispatched chunks or candidates, and
+    ``quarantined`` counts candidates that exhausted their retries and
+    were reported as
+    :class:`~repro.engine.evaluators.FailedEvaluation` instead of
+    aborting the sweep.  ``events`` is the explicit audit trail of
+    every such decision (capped at :data:`MAX_EVENTS`;
+    ``events_dropped`` counts the overflow).
     """
 
     enumeration: StageStats = field(default_factory=StageStats)
@@ -77,7 +103,12 @@ class EngineMetrics:
     bound_pruned: int = 0
     spm_pruned: int = 0
     workers: int = 1
+    degraded_batches: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    events_dropped: int = 0
     prune_batches: List[PruneBatch] = field(default_factory=list)
+    events: List[EngineEvent] = field(default_factory=list)
     passes: Dict[str, StageStats] = field(default_factory=dict)
 
     def stage_for(self, kind: str) -> StageStats:
@@ -94,6 +125,20 @@ class EngineMetrics:
         """Log one batch of the branch-and-bound search."""
         self.prune_batches.append(PruneBatch(considered, pruned, lowered))
 
+    def record_event(self, kind: str, detail: str) -> None:
+        """Append one resilience event to the audit trail."""
+        if len(self.events) >= MAX_EVENTS:
+            self.events_dropped += 1
+            return
+        self.events.append(EngineEvent(kind, detail))
+
+    def event_counts(self) -> Dict[str, int]:
+        """Events aggregated by kind (for table notes and artifacts)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
     def merge(self, other: "EngineMetrics") -> None:
         self.enumeration.merge(other.enumeration)
         self.bounds.merge(other.bounds)
@@ -106,7 +151,15 @@ class EngineMetrics:
         self.bound_pruned += other.bound_pruned
         self.spm_pruned += other.spm_pruned
         self.workers = max(self.workers, other.workers)
+        self.degraded_batches += other.degraded_batches
+        self.retries += other.retries
+        self.quarantined += other.quarantined
         self.prune_batches.extend(other.prune_batches)
+        keep = MAX_EVENTS - len(self.events)
+        self.events.extend(other.events[:keep])
+        self.events_dropped += (
+            other.events_dropped + max(0, len(other.events) - keep)
+        )
         for name, stats in other.passes.items():
             self.passes.setdefault(name, StageStats()).merge(stats)
 
@@ -141,7 +194,25 @@ class EngineMetrics:
             parts.append(f"ukernel-memo {self.ukernel_memo_hits}")
         if self.workers > 1:
             parts.append(f"workers {self.workers}")
+        if self.degraded_batches:
+            parts.append(f"degraded {self.degraded_batches}")
+        if self.retries:
+            parts.append(f"retries {self.retries}")
+        if self.quarantined:
+            parts.append(f"quarantined {self.quarantined}")
         return " | ".join(parts)
+
+    def describe_events(self) -> str:
+        """The resilience audit trail, aggregated by kind."""
+        counts = self.event_counts()
+        if not counts:
+            return "(no resilience events)"
+        text = " | ".join(
+            f"{kind} {count}" for kind, count in sorted(counts.items())
+        )
+        if self.events_dropped:
+            text += f" | (+{self.events_dropped} dropped)"
+        return text
 
     def describe_passes(self) -> str:
         """Per-pass breakdown of the lowering/optimization pipelines."""

@@ -28,6 +28,19 @@ Determinism guarantees (tested in ``tests/engine/test_search.py``):
   evaluated and the returned top-K matches the exhaustive one
   bit-for-bit.
 
+Resilience (see DESIGN.md "Failure model & recovery"):
+
+* a candidate whose evaluation was quarantined comes back as a
+  :class:`~repro.engine.evaluators.FailedEvaluation`; it is reported
+  in the results (so callers can audit it) but never enters the
+  incumbent heap, so it cannot distort the pruning threshold;
+* with a checkpoint path (explicit argument, or the process-wide
+  ``--checkpoint`` directory), the driver atomically saves its state
+  -- incumbent heap, evaluated-position cursor, scored outcomes, prune
+  counters -- at every batch boundary; ``resume`` restores an
+  interrupted sweep and finishes it with a bit-identical final result
+  (``tests/engine/test_checkpoint.py``).
+
 ``set_default_prune`` is the process-wide knob behind the CLI's
 ``--no-prune`` escape hatch, mirroring ``set_default_workers``.  With
 pruning off the search degrades to exactly the pre-bound behaviour:
@@ -37,11 +50,17 @@ realize every candidate in enumeration order, score them in one batch.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
 
 from ..scheduler.enumerate import Candidate
 from .bounds import BOUND_SAFETY
-from .evaluators import Evaluation, Evaluator
+from .checkpoint import (
+    SearchCheckpoint,
+    default_checkpoint_policy,
+    search_digest,
+)
+from .evaluators import Evaluation, Evaluator, compute_signature
 from .parallel import evaluate_batch
 from .pipeline import CandidatePipeline
 
@@ -91,6 +110,53 @@ def _exhaustive(
     return list(zip(cands, evals))
 
 
+def _resolve_checkpoint(
+    checkpoint: Union[None, str, Path],
+    resume: Optional[bool],
+    digest: str,
+) -> Tuple[Optional[Path], bool]:
+    """Explicit path beats the process-wide directory policy."""
+    if checkpoint is not None:
+        return Path(checkpoint), bool(resume)
+    policy = default_checkpoint_policy()
+    if policy is None:
+        return None, False
+    return (
+        policy.path_for(digest),
+        policy.resume if resume is None else bool(resume),
+    )
+
+
+def _restore(
+    state: SearchCheckpoint,
+    pipeline: CandidatePipeline,
+    evaluator: Evaluator,
+    strategies,
+) -> Optional[List[Tuple[int, Candidate, Evaluation]]]:
+    """Re-materialize the scored candidates of a checkpoint.
+
+    Lowering is deterministic, so realizing a previously-scored
+    strategy again yields the same kernel; the stored evaluation is
+    attached without re-scoring.  ``None`` (reject the checkpoint) if
+    any stored index no longer realizes -- that means the checkpoint
+    does not belong to this space after all.
+    """
+    scored: List[Tuple[int, Candidate, Evaluation]] = []
+    config = getattr(evaluator, "config", None)
+    if config is None:
+        config = getattr(getattr(evaluator, "inner", None), "config", None)
+    for idx, raw in state.scored:
+        if not 0 <= idx < len(strategies):
+            return None
+        candidate = pipeline.realize(strategies[idx], prefilter=True)
+        if candidate is None:
+            return None
+        scored.append(
+            (idx, candidate, SearchCheckpoint.unpack_eval(raw, config))
+        )
+    return scored
+
+
 def search_candidates(
     pipeline: CandidatePipeline,
     evaluator: Evaluator,
@@ -100,6 +166,8 @@ def search_candidates(
     prune: Optional[bool] = None,
     batch_size: Optional[int] = None,
     limit: Optional[int] = None,
+    checkpoint: Union[None, str, Path] = None,
+    resume: Optional[bool] = None,
 ) -> List[Tuple[Candidate, Evaluation]]:
     """Score the legal candidates of ``pipeline``'s space.
 
@@ -112,6 +180,12 @@ def search_candidates(
 
     ``limit`` (first N legal candidates, a blackbox-tuner notion whose
     meaning depends on enumeration order) forces the exhaustive path.
+
+    ``checkpoint`` names a JSON sidecar updated atomically at every
+    batch boundary; with ``resume`` the driver restores a matching
+    checkpoint and continues instead of restarting (checkpointing
+    applies to the branch-and-bound path -- the exhaustive path is a
+    single batch with nothing to resume).
     """
     do_prune = resolve_prune(prune)
     if not do_prune or limit is not None:
@@ -123,18 +197,77 @@ def search_candidates(
 
     metrics = pipeline.metrics
     keep = max(1, int(top_k))
+    batch = max(1, int(batch_size)) if batch_size else PRUNE_BATCH
+
+    digest = search_digest(
+        compute_signature(pipeline.compute),
+        len(strategies),
+        keep,
+        batch,
+        evaluator,
+    )
+    ckpt_path, do_resume = _resolve_checkpoint(checkpoint, resume, digest)
+
     worst_k: List[float] = []  # max-heap (negated) of the k best scores
     threshold = float("inf")
-    batch = max(1, int(batch_size)) if batch_size else PRUNE_BATCH
     scored: List[Tuple[int, Candidate, Evaluation]] = []
-
     pos = 0
+    # counter baselines: the checkpoint stores this search's own
+    # counters, not whatever the caller accumulated before it.
+    bp0, sp0, q0 = metrics.bound_pruned, metrics.spm_pruned, metrics.quarantined
+    pb0 = len(metrics.prune_batches)
+
+    if ckpt_path is not None and do_resume:
+        state = SearchCheckpoint.load(ckpt_path, expect_space=digest)
+        if state is not None:
+            restored = _restore(state, pipeline, evaluator, strategies)
+            if restored is None:
+                metrics.record_event(
+                    "checkpoint-reject",
+                    f"{ckpt_path}: scored indices do not realize; "
+                    f"starting fresh",
+                )
+            else:
+                scored = restored
+                pos = state.pos
+                worst_k = list(state.worst_k)
+                if len(worst_k) == keep:
+                    threshold = -worst_k[0]
+                metrics.bound_pruned += state.bound_pruned
+                metrics.spm_pruned += state.spm_pruned
+                metrics.quarantined += state.quarantined
+                metrics.prune_batches.extend(state.prune_batches)
+                metrics.record_event(
+                    "checkpoint-resume",
+                    f"{ckpt_path}: resumed at position {pos}/{len(order)} "
+                    f"with {len(scored)} scored",
+                )
+
+    def _save(complete: bool) -> None:
+        if ckpt_path is None:
+            return
+        SearchCheckpoint(
+            space=digest,
+            pos=pos,
+            worst_k=list(worst_k),
+            scored=[
+                (idx, SearchCheckpoint.pack_eval(e))
+                for idx, _, e in scored
+            ],
+            bound_pruned=metrics.bound_pruned - bp0,
+            spm_pruned=metrics.spm_pruned - sp0,
+            quarantined=metrics.quarantined - q0,
+            prune_batches=list(metrics.prune_batches[pb0:]),
+            complete=complete,
+        ).save(ckpt_path)
+
     while pos < len(order):
         if bounds[order[pos]].cycles * BOUND_SAFETY > threshold:
             # bounds are sorted: everything from here on is prunable.
             tail = len(order) - pos
             metrics.bound_pruned += tail
             metrics.record_prune_batch(considered=tail, pruned=tail, lowered=0)
+            pos = len(order)
             break
         # truncate the batch at the first bound above the threshold:
         # bounds are sorted, so the next loop iteration's head check
@@ -161,6 +294,7 @@ def search_candidates(
             lowered=len(take) - (metrics.spm_pruned - spm_before),
         )
         if not realized:
+            _save(complete=False)
             continue
 
         evals = evaluate_batch(
@@ -171,6 +305,8 @@ def search_candidates(
         )
         for (idx, candidate), evaluation in zip(realized, evals):
             scored.append((idx, candidate, evaluation))
+            if evaluation.failed:
+                continue  # quarantined: must not distort the incumbent
             cycles = evaluation.cycles
             if len(worst_k) < keep:
                 heapq.heappush(worst_k, -cycles)
@@ -178,6 +314,8 @@ def search_candidates(
                 heapq.heapreplace(worst_k, -cycles)
         if len(worst_k) == keep:
             threshold = -worst_k[0]
+        _save(complete=False)
 
+    _save(complete=True)
     scored.sort(key=lambda item: item[0])
     return [(candidate, evaluation) for _, candidate, evaluation in scored]

@@ -20,8 +20,13 @@ class SpmCapacityError(MachineError):
     """A kernel's scratch-pad plan exceeds the 64 KB per-CPE SPM."""
 
 
-class MemoryError_(MachineError):
+class MainMemoryError(MachineError):
     """Main-memory allocation or out-of-bounds access failure."""
+
+
+#: deprecated alias -- the old name shadowed the builtin with a
+#: trailing-underscore hack; new code should catch MainMemoryError.
+MemoryError_ = MainMemoryError
 
 
 class DmaError(MachineError):

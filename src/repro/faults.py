@@ -1,0 +1,293 @@
+"""Deterministic fault injection for chaos-testing the tuning engine.
+
+Long autotuning sweeps die on rare failures -- a worker process that
+crashes mid-candidate, an evaluator that raises on one poisoned
+strategy, a hang, a cache file truncated by a killed process.  Those
+events are hard to reproduce organically, so this module manufactures
+them *deterministically*: a seeded :class:`FaultPlan` decides, per
+(site, key, attempt), whether a fault fires, by hashing the decision
+coordinates with the seed.  The same plan therefore injects the same
+faults in every run, in every process, at any worker count -- which is
+what lets the tests assert that the supervised engine recovers to
+bit-identical results.
+
+Sites:
+
+``crash``
+    The evaluator raises :class:`InjectedCrash`.  Inside a worker
+    process the chunk runner converts it into a hard ``os._exit`` (the
+    parent sees :class:`~concurrent.futures.process.BrokenProcessPool`,
+    exactly like a real segfaulting worker); in the serial path the
+    supervisor handles the exception directly under the same policy.
+``exception``
+    The evaluator raises :class:`InjectedEvaluatorError` -- an ordinary
+    in-band evaluation failure.
+``hang``
+    The evaluator raises :class:`InjectedHang`, which supervision
+    classifies exactly like a wall-clock chunk timeout.  This is a
+    *virtual-clock* hang: tests exercise the timeout recovery path
+    without ever sleeping.
+``corrupt``
+    :meth:`~repro.engine.evalcache.PersistentEvalStore.flush` truncates
+    the freshly written store file, simulating a torn write.
+
+Faults keyed by ``(site, key, attempt)`` are *transient* by
+construction: a retry re-draws at the next attempt number, so at rate
+``r`` a candidate fails twice in a row with probability ``r**2``.  A
+``poison`` prefix, by contrast, is *persistent*: every candidate whose
+digest starts with the prefix always raises, on every attempt -- the
+supervised engine must bisect it out of its chunk and quarantine it.
+
+Everything is a no-op until :func:`set_fault_plan` installs a plan
+(the CLI's ``--inject-faults SPEC`` does this); production code pays
+one ``None`` check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from .errors import ReproError
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedEvaluatorError",
+    "InjectedFault",
+    "InjectedHang",
+    "active_fault_plan",
+    "candidate_digest",
+    "current_attempt",
+    "set_current_attempt",
+    "set_fault_plan",
+]
+
+#: the injectable fault sites, in spec order.
+FAULT_SITES = ("crash", "exception", "hang", "corrupt")
+
+
+class InjectedFault(ReproError):
+    """Base class of all injected failures (never raised by real code)."""
+
+
+class InjectedCrash(InjectedFault):
+    """Stands in for a hard worker death (converted to ``os._exit`` in
+    worker processes)."""
+
+
+class InjectedEvaluatorError(InjectedFault):
+    """An ordinary evaluator exception."""
+
+
+class InjectedHang(InjectedFault):
+    """A virtual-clock hang: supervision treats it as a chunk timeout
+    without any wall-clock wait."""
+
+
+def _draw(seed: int, site: str, key: str, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one fault decision."""
+    h = hashlib.sha256(
+        f"{seed}:{site}:{key}:{attempt}".encode()
+    ).digest()
+    return int.from_bytes(h[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic fault-injection schedule.
+
+    ``crash``/``exception``/``hang`` are per-evaluation firing rates in
+    [0, 1]; ``corrupt`` is a per-flush rate for cache-file truncation.
+    ``poison`` is a hex digest prefix (see :func:`candidate_digest`):
+    matching candidates raise on *every* attempt and can only leave the
+    sweep by quarantine.
+    """
+
+    seed: int = 0
+    crash: float = 0.0
+    exception: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    poison: Optional[str] = None
+
+    def is_noop(self) -> bool:
+        return (
+            not self.poison
+            and self.crash <= 0.0
+            and self.exception <= 0.0
+            and self.hang <= 0.0
+            and self.corrupt <= 0.0
+        )
+
+    def rate(self, site: str) -> float:
+        if site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {site!r}")
+        return float(getattr(self, site))
+
+    def should_fire(self, site: str, key: str, attempt: int = 0) -> bool:
+        """Did the plan schedule a fault at these coordinates?
+
+        Pure function of ``(seed, site, key, attempt)`` -- the same
+        coordinates fire (or don't) identically in every process.
+        """
+        rate = self.rate(site)
+        if rate <= 0.0:
+            return False
+        return _draw(self.seed, site, key, attempt) < rate
+
+    def is_poison(self, digest: str) -> bool:
+        return bool(self.poison) and digest.startswith(self.poison)
+
+    # --- spec round-trip -----------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a ``--inject-faults`` spec string.
+
+        Comma-separated ``name=value`` pairs: the four site rates,
+        ``seed=N`` and ``poison=HEXPREFIX``, e.g.
+        ``"crash=0.1,corrupt=0.5,seed=42"``.
+        """
+        plan = cls()
+        if not spec.strip():
+            return plan
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            name, sep, value = item.partition("=")
+            name = name.strip()
+            value = value.strip()
+            if not sep:
+                raise ValueError(
+                    f"malformed --inject-faults item {item!r} "
+                    f"(expected name=value)"
+                )
+            if name == "seed":
+                plan = replace(plan, seed=int(value))
+            elif name == "poison":
+                plan = replace(plan, poison=value or None)
+            elif name in FAULT_SITES:
+                rate = float(value)
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(
+                        f"fault rate {name}={rate} outside [0, 1]"
+                    )
+                plan = replace(plan, **{name: rate})
+            else:
+                raise ValueError(
+                    f"unknown --inject-faults field {name!r} "
+                    f"(sites: {', '.join(FAULT_SITES)}, plus seed, poison)"
+                )
+        return plan
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        parts += [
+            f"{site}={self.rate(site):g}"
+            for site in FAULT_SITES
+            if self.rate(site) > 0
+        ]
+        if self.poison:
+            parts.append(f"poison={self.poison}")
+        return ",".join(parts)
+
+
+def candidate_digest(candidate) -> str:
+    """Stable cross-process identity of one candidate (compute +
+    strategy), used to key fault decisions and poison matching."""
+    from .engine.evaluators import compute_signature, strategy_key
+
+    key = (
+        compute_signature(candidate.compute),
+        strategy_key(candidate.strategy),
+    )
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+#: attempt number of the evaluation currently running in *this*
+#: process.  The supervisor (parent: per-candidate retry loop; worker:
+#: chunk runner) sets it before dispatching, so fault draws can be
+#: keyed per attempt -- that is what makes injected faults transient.
+_CURRENT_ATTEMPT = 0
+
+
+def set_current_attempt(attempt: int) -> None:
+    global _CURRENT_ATTEMPT
+    _CURRENT_ATTEMPT = max(0, int(attempt))
+
+
+def current_attempt() -> int:
+    return _CURRENT_ATTEMPT
+
+
+#: the process-wide plan (None = fault injection disabled).
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def set_fault_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install (or clear, with ``None``) the process-wide fault plan.
+
+    The CLI's ``--inject-faults SPEC`` routes here; a no-op plan is
+    normalized to ``None``.
+    """
+    global _ACTIVE_PLAN
+    if plan is not None and plan.is_noop():
+        plan = None
+    _ACTIVE_PLAN = plan
+    return _ACTIVE_PLAN
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    return _ACTIVE_PLAN
+
+
+class FaultyEvaluator:
+    """Evaluator wrapper that consults a :class:`FaultPlan` before
+    delegating to the real evaluator.
+
+    Built by ``evaluate_batch`` when a plan is active; ships to worker
+    processes like any evaluator (the plan is a small frozen
+    dataclass).  Fault decisions are keyed by the candidate's digest
+    and the current attempt number, so they are identical in serial and
+    parallel runs of the same plan.
+    """
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.kind = inner.kind
+
+    def params_key(self):
+        return self.inner.params_key()
+
+    def evaluate(self, candidate):
+        digest = candidate_digest(candidate)
+        attempt = current_attempt()
+        if self.plan.is_poison(digest):
+            raise InjectedEvaluatorError(
+                f"poison candidate {digest[:12]} (always fails)"
+            )
+        if self.plan.should_fire("crash", digest, attempt):
+            raise InjectedCrash(
+                f"injected worker crash at candidate {digest[:12]} "
+                f"attempt {attempt}"
+            )
+        if self.plan.should_fire("hang", digest, attempt):
+            raise InjectedHang(
+                f"injected hang at candidate {digest[:12]} "
+                f"attempt {attempt}"
+            )
+        if self.plan.should_fire("exception", digest, attempt):
+            raise InjectedEvaluatorError(
+                f"injected evaluator exception at candidate "
+                f"{digest[:12]} attempt {attempt}"
+            )
+        return self.inner.evaluate(candidate)
+
+    def __getattr__(self, name):
+        # config, coeffs, feeds... -- callers introspect the wrapped
+        # evaluator for report rebuilding and memo keys.
+        return getattr(self.inner, name)

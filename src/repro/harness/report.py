@@ -76,6 +76,26 @@ def stage_note(
     return f"{label}: {metrics.describe()}"
 
 
+def resilience_note(
+    metrics: Optional[EngineMetrics], label: str = "resilience"
+) -> Optional[str]:
+    """One table-note line of the supervised-evaluation audit trail:
+    degraded batches, retries, quarantines and the per-kind event
+    counts.  ``None`` when the run saw no resilience events at all, so
+    fault-free tables stay byte-identical."""
+    if metrics is None:
+        return None
+    if not (
+        metrics.degraded_batches
+        or metrics.retries
+        or metrics.quarantined
+        or metrics.events
+        or metrics.events_dropped
+    ):
+        return None
+    return f"{label}: {metrics.describe_events()}"
+
+
 def speedup_summary(speedups: Iterable[float]) -> Dict[str, float]:
     """The Tab. 1/2 style aggregate: counts and average gains/losses."""
     ups = list(speedups)

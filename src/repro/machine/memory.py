@@ -16,7 +16,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..errors import MemoryError_
+from ..errors import MainMemoryError
 from .config import MachineConfig, default_config
 
 
@@ -56,7 +56,7 @@ class Buffer:
     def elem_addr(self, index: Tuple[int, ...]) -> int:
         """Byte address of the element at ``index``."""
         if len(index) != len(self.shape):
-            raise MemoryError_(
+            raise MainMemoryError(
                 f"index rank {len(index)} != buffer rank {len(self.shape)}"
             )
         off = 0
@@ -64,7 +64,7 @@ class Buffer:
             zip(index, self.shape, self.strides_elems)
         ):
             if not (0 <= idx < extent):
-                raise MemoryError_(
+                raise MainMemoryError(
                     f"index {idx} out of range [0, {extent}) in dim {i} "
                     f"of buffer {self.name!r}"
                 )
@@ -87,7 +87,7 @@ class MainMemory:
         config: Optional[MachineConfig] = None,
     ) -> None:
         if capacity_bytes <= 0:
-            raise MemoryError_("memory capacity must be positive")
+            raise MainMemoryError("memory capacity must be positive")
         self.config = config or default_config()
         self.capacity = int(capacity_bytes)
         self._storage = np.zeros(self.capacity, dtype=np.uint8)
@@ -105,16 +105,16 @@ class MainMemory:
     ) -> Buffer:
         """Allocate a row-major tensor and return its :class:`Buffer`."""
         if name in self._buffers:
-            raise MemoryError_(f"buffer {name!r} already allocated")
+            raise MainMemoryError(f"buffer {name!r} already allocated")
         if any(int(s) <= 0 for s in shape):
-            raise MemoryError_(f"non-positive extent in shape {shape}")
+            raise MainMemoryError(f"non-positive extent in shape {shape}")
         alignment = self.config.mem_align if align is None else int(align)
         if alignment <= 0:
-            raise MemoryError_("alignment must be positive")
+            raise MainMemoryError("alignment must be positive")
         addr = -(-self._next // alignment) * alignment
         buf = Buffer(name, addr, tuple(int(s) for s in shape), np.dtype(dtype))
         if addr + buf.nbytes > self.capacity:
-            raise MemoryError_(
+            raise MainMemoryError(
                 f"out of simulated memory allocating {name!r} "
                 f"({buf.nbytes} B at {addr}, capacity {self.capacity} B)"
             )
@@ -126,7 +126,7 @@ class MainMemory:
         try:
             return self._buffers[name]
         except KeyError:
-            raise MemoryError_(f"unknown buffer {name!r}") from None
+            raise MainMemoryError(f"unknown buffer {name!r}") from None
 
     def __contains__(self, name: str) -> bool:
         return name in self._buffers
@@ -144,7 +144,7 @@ class MainMemory:
     def write(self, buf: Buffer, data: np.ndarray) -> None:
         data = np.asarray(data, dtype=buf.dtype)
         if tuple(data.shape) != buf.shape:
-            raise MemoryError_(
+            raise MainMemoryError(
                 f"shape mismatch writing {buf.name!r}: "
                 f"{data.shape} != {buf.shape}"
             )
@@ -166,9 +166,9 @@ class MainMemory:
 
     def _check_range(self, addr: int, nbytes: int) -> None:
         if nbytes < 0:
-            raise MemoryError_("negative byte count")
+            raise MainMemoryError("negative byte count")
         if addr < 0 or addr + nbytes > self.capacity:
-            raise MemoryError_(
+            raise MainMemoryError(
                 f"access [{addr}, {addr + nbytes}) outside memory "
                 f"[0, {self.capacity})"
             )
@@ -184,7 +184,7 @@ def transaction_bytes(addr: int, nbytes: int, txn: int) -> Tuple[int, int]:
     if nbytes <= 0:
         return 0, 0
     if txn <= 0:
-        raise MemoryError_("transaction size must be positive")
+        raise MainMemoryError("transaction size must be positive")
     first = (addr // txn) * txn
     last = -(-(addr + nbytes) // txn) * txn
     paid = last - first

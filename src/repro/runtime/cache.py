@@ -12,12 +12,17 @@ file and shipped like a pre-tuned kernel library.
 from __future__ import annotations
 
 import json
+import logging
+import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 from ..dsl.schedule import ScheduleStrategy
 from ..errors import ReproError
+
+logger = logging.getLogger(__name__)
 
 
 class CacheError(ReproError):
@@ -77,6 +82,9 @@ class KernelCache:
         self._entries: Dict[str, TunedEntry] = {}
         self.hits = 0
         self.misses = 0
+        #: tolerant-load accounting (``load(strict=False)``)
+        self.skipped_entries = 0
+        self.quarantined_path: Optional[Path] = None
 
     def __contains__(self, key: str) -> bool:
         return key in self._entries
@@ -120,30 +128,110 @@ class KernelCache:
 
     # --- persistence ------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
+        """Write the cache atomically (temp file + rename), so a killed
+        process never leaves a half-written library file behind."""
+        path = Path(path)
         payload = {
             "version": self.VERSION,
             "hits": self.hits,
             "misses": self.misses,
             "entries": {k: e.to_json() for k, e in self._entries.items()},
         }
-        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "KernelCache":
+    def load(cls, path: Union[str, Path], *, strict: bool = True) -> "KernelCache":
+        """Read a cache file.
+
+        ``strict`` (the default) raises :class:`CacheError` on any
+        corruption -- the offline-compiler mode, where a damaged
+        pre-tuned library should stop the build.  ``strict=False`` is
+        the online mode (:class:`~repro.runtime.library.AtopLibrary`):
+        an unreadable file is quarantined to a ``*.corrupt`` sidecar
+        and an empty cache returned, malformed entries are skipped and
+        counted in ``skipped_entries``, and the session re-tunes what
+        it lost instead of refusing to start.
+        """
+        path = Path(path)
         try:
-            payload = json.loads(Path(path).read_text())
+            payload = json.loads(path.read_text())
+            if not isinstance(payload, dict):
+                raise CacheError(
+                    f"kernel cache {path}: top-level JSON is "
+                    f"{type(payload).__name__}, not object"
+                )
         except (OSError, json.JSONDecodeError) as exc:
-            raise CacheError(f"cannot read kernel cache {path}: {exc}") from exc
-        if payload.get("version") != cls.VERSION:
-            raise CacheError(
-                f"kernel cache version {payload.get('version')!r} "
-                f"!= {cls.VERSION}"
+            if strict:
+                raise CacheError(
+                    f"cannot read kernel cache {path}: {exc}"
+                ) from exc
+            cache = cls()
+            from ..engine.evalcache import quarantine_corrupt
+
+            cache.quarantined_path = quarantine_corrupt(
+                path, f"unreadable kernel cache ({exc})"
             )
+            return cache
+        except CacheError as exc:
+            if strict:
+                raise
+            cache = cls()
+            from ..engine.evalcache import quarantine_corrupt
+
+            cache.quarantined_path = quarantine_corrupt(path, str(exc))
+            return cache
+        if payload.get("version") != cls.VERSION:
+            if strict:
+                raise CacheError(
+                    f"kernel cache version {payload.get('version')!r} "
+                    f"!= {cls.VERSION}"
+                )
+            logger.warning(
+                "kernel cache %s has version %r != %d; starting empty",
+                path,
+                payload.get("version"),
+                cls.VERSION,
+            )
+            return cls()
         cache = cls()
         # counters survive the round-trip (older files without them
         # load as zero)
-        cache.hits = int(payload.get("hits", 0))
-        cache.misses = int(payload.get("misses", 0))
-        for key, data in payload.get("entries", {}).items():
-            cache._entries[key] = TunedEntry.from_json(data)
+        try:
+            cache.hits = int(payload.get("hits", 0))
+            cache.misses = int(payload.get("misses", 0))
+        except (TypeError, ValueError):
+            if strict:
+                raise CacheError(f"kernel cache {path}: malformed counters")
+            cache.hits = cache.misses = 0
+        entries = payload.get("entries", {})
+        if not isinstance(entries, dict):
+            if strict:
+                raise CacheError(f"kernel cache {path}: malformed entries")
+            entries = {}
+        for key, data in entries.items():
+            try:
+                cache._entries[key] = TunedEntry.from_json(data)
+            except CacheError:
+                if strict:
+                    raise
+                cache.skipped_entries += 1
+        if cache.skipped_entries:
+            logger.warning(
+                "kernel cache %s: skipped %d malformed entries",
+                path,
+                cache.skipped_entries,
+            )
         return cache

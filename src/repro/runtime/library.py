@@ -55,7 +55,9 @@ class AtopLibrary:
         self.quick = quick
         self.cache_path = Path(cache_path) if cache_path else None
         if self.cache_path and self.cache_path.exists():
-            self.cache = KernelCache.load(self.cache_path)
+            # tolerant load: an online session re-tunes what a corrupt
+            # or stale library file lost instead of refusing to start.
+            self.cache = KernelCache.load(self.cache_path, strict=False)
         else:
             self.cache = KernelCache()
         # the kernel cache above persists winning *strategies*; the

@@ -71,7 +71,7 @@ class TestErrorHierarchy:
 
     def test_machine_errors_grouped(self):
         for cls in (E.SpmCapacityError, E.DmaError, E.RegCommError,
-                    E.PipelineError, E.MemoryError_):
+                    E.PipelineError, E.MainMemoryError):
             assert issubclass(cls, E.MachineError)
 
     def test_cache_error_importable(self):

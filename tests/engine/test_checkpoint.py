@@ -1,0 +1,218 @@
+"""Checkpoint/resume of the branch-and-bound search.
+
+The contract: a sweep interrupted at any batch boundary and resumed
+from its checkpoint finishes with results bit-identical to an
+uninterrupted run; corrupt or mismatched checkpoints never poison a
+search -- they are quarantined or ignored and the sweep starts fresh.
+"""
+
+import json
+
+import pytest
+
+from repro.autotuner.model_tuner import tune_with_model
+from repro.dsl import ScheduleSpace
+from repro.engine import (
+    AnalyticEvaluator,
+    CandidatePipeline,
+    SearchCheckpoint,
+    search_candidates,
+    set_default_checkpoint,
+)
+from repro.engine.checkpoint import CHECKPOINT_VERSION
+from repro.engine.evalcache import CODE_SALT
+
+from ..scheduler.test_lower import gemm_cd
+
+
+@pytest.fixture(autouse=True)
+def no_default_checkpoint():
+    set_default_checkpoint(None)
+    yield
+    set_default_checkpoint(None)
+
+
+def make_space():
+    cd = gemm_cd(128, 128, 128)
+    sp = ScheduleSpace(cd)
+    sp.split("M", [16, 32, 64, 128])
+    sp.split("N", [16, 32, 64, 128])
+    sp.split("K", [16, 32, 64, 128])
+    return cd, sp
+
+
+def make_pipeline():
+    cd, sp = make_space()
+    return CandidatePipeline(cd, sp)
+
+
+def run_search(pipeline, evaluator=None, **kw):
+    evaluator = evaluator or AnalyticEvaluator(config=pipeline.config)
+    # batch_size=4 gives the space several branch-and-bound batches
+    # (i.e. several checkpoint writes) before the tail is pruned
+    return search_candidates(
+        pipeline, evaluator, prune=True, batch_size=4, **kw
+    )
+
+
+def signature(pairs):
+    return [
+        (tuple(sorted(c.strategy.decisions.items())), e.cycles)
+        for c, e in pairs
+    ]
+
+
+class InterruptingEvaluator(AnalyticEvaluator):
+    """Raises KeyboardInterrupt after ``budget`` evaluations -- the
+    same kind/params as AnalyticEvaluator, so the search digest (and
+    with it the checkpoint identity) is unchanged."""
+
+    def __init__(self, budget, config=None):
+        super().__init__(config=config)
+        self.budget = budget
+        self.done = 0
+
+    def evaluate(self, candidate):
+        if self.done >= self.budget:
+            raise KeyboardInterrupt
+        self.done += 1
+        return super().evaluate(candidate)
+
+
+class TestCheckpointFile:
+    def test_written_and_complete(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        pipeline = make_pipeline()
+        results = run_search(pipeline, checkpoint=path)
+        assert results
+        raw = json.loads(path.read_text())
+        assert raw["version"] == CHECKPOINT_VERSION
+        assert raw["salt"] == CODE_SALT
+        assert raw["complete"] is True
+        assert len(raw["scored"]) == len(results)
+
+    def test_resume_complete_checkpoint_skips_evaluation(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        first_pipe = make_pipeline()
+        first = run_search(first_pipe, checkpoint=path)
+
+        second_pipe = make_pipeline()
+        second = run_search(second_pipe, checkpoint=path, resume=True)
+        assert signature(second) == signature(first)
+        # everything came from the checkpoint, nothing was re-scored
+        assert second_pipe.metrics.prediction.count == 0
+        assert second_pipe.metrics.event_counts().get("checkpoint-resume") == 1
+
+    def test_interrupt_then_resume_bit_identical(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        clean_pipe = make_pipeline()
+        clean = run_search(clean_pipe)
+
+        interrupted_pipe = make_pipeline()
+        interrupting = InterruptingEvaluator(
+            budget=5, config=interrupted_pipe.config
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_search(interrupted_pipe, interrupting, checkpoint=path)
+        partial = json.loads(path.read_text())
+        assert partial["complete"] is False
+        # it really stopped mid-sweep with at least one batch banked
+        assert 0 < len(partial["scored"]) < len(clean)
+
+        resumed_pipe = make_pipeline()
+        resumed = run_search(resumed_pipe, checkpoint=path, resume=True)
+        assert signature(resumed) == signature(clean)
+        # the resumed run scored strictly less than the whole sweep
+        assert 0 < resumed_pipe.metrics.prediction.count < len(clean)
+
+    def test_without_resume_checkpoint_is_ignored(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        first_pipe = make_pipeline()
+        first = run_search(first_pipe, checkpoint=path)
+
+        again_pipe = make_pipeline()
+        again = run_search(again_pipe, checkpoint=path)  # resume not set
+        assert signature(again) == signature(first)
+        assert again_pipe.metrics.prediction.count > 0  # re-evaluated
+
+
+class TestCheckpointValidation:
+    def test_corrupt_checkpoint_quarantined_and_fresh(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{definitely not json")
+        pipeline = make_pipeline()
+        results = run_search(pipeline, checkpoint=path, resume=True)
+        assert results
+        assert (tmp_path / "ckpt.json.corrupt").exists()
+        assert json.loads(path.read_text())["complete"] is True
+
+    def test_mismatched_space_ignored_in_place(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        SearchCheckpoint(space="0" * 64, pos=4).save(path)
+        pipeline = make_pipeline()
+        clean = run_search(make_pipeline())
+        results = run_search(pipeline, checkpoint=path, resume=True)
+        assert signature(results) == signature(clean)
+        assert not (tmp_path / "ckpt.json.corrupt").exists()
+
+    def test_inconsistent_cursor_quarantined(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        state = SearchCheckpoint(space="x", pos=1)
+        state.scored = [(0, {"predicted": 1.0}), (1, {"predicted": 2.0})]
+        state.save(path)
+        assert SearchCheckpoint.load(path, expect_space="x") is None
+        assert (tmp_path / "ckpt.json.corrupt").exists()
+
+    def test_failed_evaluation_round_trips(self):
+        from repro.engine import FailedEvaluation
+
+        failure = FailedEvaluation(
+            site="crash",
+            error_type="InjectedCrash",
+            error_message="boom",
+            error_chain=("InjectedCrash: boom",),
+            attempts=3,
+        )
+        raw = SearchCheckpoint.pack_eval(failure)
+        back = SearchCheckpoint.unpack_eval(raw, None)
+        assert back == failure
+
+
+class TestDefaultPolicy:
+    def test_directory_policy_resumes_per_search(self, tmp_path):
+        set_default_checkpoint(tmp_path, resume=True)
+        first_pipe = make_pipeline()
+        first = run_search(first_pipe)
+        files = list(tmp_path.glob("search-*.json"))
+        assert len(files) == 1
+
+        second_pipe = make_pipeline()
+        second = run_search(second_pipe)
+        assert signature(second) == signature(first)
+        assert second_pipe.metrics.prediction.count == 0  # resumed
+
+    def test_explicit_argument_beats_policy(self, tmp_path):
+        set_default_checkpoint(tmp_path / "policy-dir", resume=True)
+        explicit = tmp_path / "explicit.json"
+        run_search(make_pipeline(), checkpoint=explicit)
+        assert explicit.exists()
+        assert not (tmp_path / "policy-dir").exists()
+
+
+class TestTunerResume:
+    def test_tune_with_model_resume_from(self, tmp_path):
+        path = tmp_path / "tuner.json"
+        cd, sp = make_space()
+        first = tune_with_model(
+            cd, sp, run_best=False, prune=True, checkpoint=path
+        )
+        cd2, sp2 = make_space()
+        resumed = tune_with_model(
+            cd2, sp2, run_best=False, prune=True, resume_from=path
+        )
+        assert (
+            resumed.best.candidate.strategy.decisions
+            == first.best.candidate.strategy.decisions
+        )
+        assert resumed.best.predicted_cycles == first.best.predicted_cycles
+        assert resumed.metrics.prediction.count == 0  # answered by resume

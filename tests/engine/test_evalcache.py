@@ -86,6 +86,69 @@ class TestPersistentEvalStore:
         store = PersistentEvalStore(path)
         assert len(store) == 0
 
+    def test_unsalvageable_file_quarantined(self, tmp_path, no_default_store):
+        path = tmp_path / "scores.json"
+        path.write_text("{not json")
+        store = PersistentEvalStore(path)
+        sidecar = tmp_path / "scores.json.corrupt"
+        assert store.quarantined_path == sidecar
+        assert sidecar.read_text() == "{not json"  # evidence preserved
+        assert not path.exists()
+        assert "corrupt original" in store.describe()
+
+    def test_truncated_file_recovers_valid_prefix(
+        self, tmp_path, candidate, no_default_store
+    ):
+        path = tmp_path / "scores.json"
+        store = PersistentEvalStore(path)
+        memo = MemoizingEvaluator(SimulatorEvaluator(), store={}, disk=store)
+        evaluation = memo.evaluate(candidate)
+        # pad with synthetic entries so a truncation point falls
+        # between entries, then tear the tail off the file
+        for i in range(20):
+            store.put(("synthetic", i), evaluation)
+        store.flush()
+        data = path.read_text()
+        path.write_text(data[: int(len(data) * 0.6)])
+
+        recovered = PersistentEvalStore(path)
+        assert recovered.recovered
+        assert 0 < len(recovered) < 21
+        assert "recovered" in recovered.describe()
+        # the real entry survives: it was written first
+        sim = SimulatorEvaluator()
+        MemoizingEvaluator(sim, store={}, disk=recovered).evaluate(candidate)
+        assert sim.executions == 0  # answered from the recovered prefix
+        # recovery marks the store dirty so the next flush rewrites a
+        # clean file
+        recovered.flush()
+        clean = PersistentEvalStore(path)
+        assert not clean.recovered
+        assert len(clean) == len(recovered)
+
+    def test_malformed_entries_skipped_individually(
+        self, tmp_path, no_default_store
+    ):
+        path = tmp_path / "scores.json"
+        probe = PersistentEvalStore(tmp_path / "probe.json")
+        payload = {
+            "version": EVAL_CACHE_VERSION,
+            "salt": probe.salt,
+            "entries": {
+                "good": [1.0, 2.0, None],
+                "bad-shape": [1.0],
+                "bad-types": ["x", "y", "z"],
+                "bad-report": [1.0, 2.0, "not a dict"],
+            },
+        }
+        path.write_text(json.dumps(payload))
+        store = PersistentEvalStore(path)
+        assert len(store) == 1
+        assert store.invalid_entries == 3
+        assert "3 malformed" in store.describe()
+        store.flush()  # rewrites without the bad entries
+        assert len(PersistentEvalStore(path)) == 1
+
     def test_flush_is_atomic_and_idempotent(self, tmp_path, candidate, no_default_store):
         path = tmp_path / "nested" / "scores.json"
         store = PersistentEvalStore(path)

@@ -3,9 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.errors import MemoryError_
+from repro.errors import MainMemoryError
 from repro.machine.config import default_config
 from repro.machine.memory import Buffer, MainMemory, transaction_bytes
+
+
+def test_deprecated_alias_still_catches():
+    from repro import errors
+
+    assert errors.MemoryError_ is MainMemoryError
+    with pytest.raises(errors.MemoryError_):
+        MainMemory(1 << 10).alloc("a", (0,))
 
 
 class TestAllocation:
@@ -31,17 +39,17 @@ class TestAllocation:
     def test_duplicate_name_rejected(self):
         mem = MainMemory(1 << 20)
         mem.alloc("a", (4,))
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MainMemoryError):
             mem.alloc("a", (4,))
 
     def test_zero_extent_rejected(self):
         mem = MainMemory(1 << 20)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MainMemoryError):
             mem.alloc("a", (0, 4))
 
     def test_out_of_capacity(self):
         mem = MainMemory(1024)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MainMemoryError):
             mem.alloc("big", (1024,))  # 4 KiB > 1 KiB
 
     def test_lookup(self):
@@ -49,7 +57,7 @@ class TestAllocation:
         buf = mem.alloc("x", (2, 2))
         assert mem.buffer("x") is buf
         assert "x" in mem
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MainMemoryError):
             mem.buffer("y")
 
 
@@ -71,7 +79,7 @@ class TestFunctionalAccess:
     def test_shape_mismatch_rejected(self):
         mem = MainMemory(1 << 20)
         buf = mem.alloc("a", (4,))
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MainMemoryError):
             mem.write(buf, np.zeros((5,), np.float32))
 
     def test_raw_bytes_roundtrip(self):
@@ -82,9 +90,9 @@ class TestFunctionalAccess:
 
     def test_raw_bounds_checked(self):
         mem = MainMemory(256)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MainMemoryError):
             mem.read_bytes(250, 16)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MainMemoryError):
             mem.read_bytes(-1, 4)
 
 
@@ -98,9 +106,9 @@ class TestBufferAddressing:
 
     def test_elem_addr_bounds(self):
         buf = Buffer("a", 0, (2, 2), np.dtype(np.float32))
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MainMemoryError):
             buf.elem_addr((2, 0))
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MainMemoryError):
             buf.elem_addr((0, 0, 0))
 
     def test_strides(self):

@@ -91,6 +91,54 @@ class TestKernelCache:
         assert loaded.hits == 0 and loaded.misses == 0
         assert loaded.get("k") is not None
 
+    def test_tolerant_load_quarantines_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        loaded = KernelCache.load(path, strict=False)
+        assert len(loaded) == 0
+        sidecar = tmp_path / "bad.json.corrupt"
+        assert loaded.quarantined_path == sidecar
+        assert sidecar.read_text() == "not json {"  # evidence preserved
+        assert not path.exists()
+
+    def test_tolerant_load_skips_malformed_entries(self, tmp_path):
+        c = KernelCache()
+        c.put("good", sample_entry())
+        path = tmp_path / "cache.json"
+        c.save(path)
+        import json
+
+        payload = json.loads(path.read_text())
+        payload["entries"]["broken"] = {"nope": 1}
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CacheError):
+            KernelCache.load(path)  # strict: a damaged library must stop
+        loaded = KernelCache.load(path, strict=False)
+        assert loaded.skipped_entries == 1
+        assert loaded.get("good") is not None
+
+    def test_tolerant_load_ignores_version_mismatch(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text('{"version": 99, "entries": {}}')
+        loaded = KernelCache.load(path, strict=False)
+        assert len(loaded) == 0
+        assert path.exists()  # another code version may still want it
+
+    def test_save_is_atomic(self, tmp_path):
+        c = KernelCache()
+        c.put("k", sample_entry())
+        path = tmp_path / "nested" / "cache.json"
+        c.save(path)  # creates the parent directory
+        assert KernelCache.load(path).get("k") is not None
+        assert not list(path.parent.glob("*.tmp"))  # no temp litter
+
+    def test_library_survives_corrupt_cache_file(self, tmp_path):
+        path = tmp_path / "library.json"
+        path.write_text("truncated {")
+        lib = AtopLibrary(cache_path=path)  # must not raise
+        assert len(lib.cache) == 0
+        assert (tmp_path / "library.json.corrupt").exists()
+
     def test_duplicate_put_same_strategy_ok(self):
         c = KernelCache()
         c.put("k", sample_entry())
