@@ -114,6 +114,28 @@ def main(argv=None) -> int:
              "(see repro.faults.FaultPlan.parse)",
     )
     parser.add_argument(
+        "--validate",
+        nargs="?",
+        const="winner",
+        choices=("off", "winner", "all"),
+        default=None,
+        metavar="MODE",
+        help="differentially validate tuned kernels against the NumPy "
+             "reference: 'winner' (the bare flag) checks each tuner's "
+             "returned winner, 'all' checks every measured candidate, "
+             "'off' disables (default: off, or 'all' under "
+             "REPRO_SANITIZE=1)",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run every simulated kernel under the machine sanitizer "
+             "(shadow-state checks for SPM/memory out-of-bounds DMA, "
+             "uninitialized reads, double-buffer phase races and "
+             "register-communication misuse); equivalent to "
+             "REPRO_SANITIZE=1",
+    )
+    parser.add_argument(
         "--dump-ir",
         nargs="?",
         const="all",
@@ -139,6 +161,14 @@ def main(argv=None) -> int:
         from .engine import set_default_checkpoint
 
         set_default_checkpoint(args.checkpoint, resume=args.resume)
+    if args.sanitize:
+        from .machine.sanitizer import set_sanitize
+
+        set_sanitize(True)
+    if args.validate is not None:
+        from .engine import set_default_validate
+
+        set_default_validate(args.validate)
     if args.inject_faults is not None:
         from .faults import FaultPlan, set_fault_plan
 

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..dsl.compute import ComputeDef
 from ..dsl.schedule import ScheduleSpace
-from ..errors import TuningError
+from ..errors import SanitizerError, TuningError, ValidationError
 from ..machine.config import MachineConfig, default_config
 from ..scheduler.lower import LoweringOptions
 from ..engine import (
@@ -32,6 +32,8 @@ from ..engine import (
     Evaluator,
     MemoizingEvaluator,
     SimulatorEvaluator,
+    ValidatingEvaluator,
+    resolve_validate,
     search_candidates,
     synthetic_feeds,
 )
@@ -54,6 +56,7 @@ def tune_blackbox(
     prune: bool = False,
     checkpoint: Union[None, str, Path] = None,
     resume_from: Union[None, str, Path] = None,
+    validate: Optional[str] = None,
 ) -> TuningResult:
     """Execute every legal candidate; return the measured best.
 
@@ -73,8 +76,14 @@ def tune_blackbox(
     candidates (see DESIGN.md "Failure model & recovery") are excluded
     from the winner; tuning only fails when *every* candidate was
     quarantined.
+
+    ``validate`` selects differential validation exactly as in
+    ``tune_with_model``: ``"winner"`` checks the measured best against
+    the NumPy reference before returning (falling through to the next
+    score on failure), ``"all"`` validates every execution.
     """
     cfg = config or default_config()
+    mode = resolve_validate(validate)
     data = feeds if feeds is not None else synthetic_feeds(compute)
     t0 = time.perf_counter()
 
@@ -82,6 +91,8 @@ def tune_blackbox(
         compute, space, options=options, config=cfg, prefetch=prefetch
     )
     simulator: Evaluator = SimulatorEvaluator(data, cfg)
+    if mode == "all":
+        simulator = ValidatingEvaluator(simulator, cfg)
     if memoize:
         simulator = MemoizingEvaluator(
             simulator, salt=_memo_salt(options, prefetch)
@@ -122,6 +133,29 @@ def tune_blackbox(
     # min() keeps the first of equals -- same tie-break as the seed's
     # strict-less scan, so results are stable across worker counts.
     best = min(scores, key=lambda s: s.measured_cycles or float("inf"))
+
+    if mode == "winner":
+        # mode "all" already validated every execution via the wrapper;
+        # here only the returned winner needs the differential check,
+        # falling through to the next measured score on failure.
+        ordered = sorted(
+            scores, key=lambda s: s.measured_cycles or float("inf")
+        )
+        chosen = None
+        for score in ordered:
+            try:
+                pipeline.validate(score.candidate)
+            except (ValidationError, SanitizerError):
+                continue
+            chosen = score
+            break
+        if chosen is None:
+            raise TuningError(
+                f"every candidate of {compute.name!r} failed "
+                f"differential validation; see the engine events for "
+                f"the failure chain"
+            )
+        best = chosen
 
     wall = time.perf_counter() - t0
     return TuningResult(

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..dsl.compute import ComputeDef
 from ..dsl.schedule import ScheduleSpace
-from ..errors import TuningError
+from ..errors import SanitizerError, TuningError, ValidationError
 from ..machine.config import MachineConfig, default_config
 from ..scheduler.lower import LoweringOptions
 from ..engine import (
@@ -31,7 +31,9 @@ from ..engine import (
     Evaluator,
     MemoizingEvaluator,
     SimulatorEvaluator,
+    ValidatingEvaluator,
     evaluate_batch,
+    resolve_validate,
     search_candidates,
     synthetic_feeds,
 )
@@ -70,6 +72,7 @@ def tune_with_model(
     prune: Optional[bool] = None,
     checkpoint: Union[None, str, Path] = None,
     resume_from: Union[None, str, Path] = None,
+    validate: Optional[str] = None,
 ) -> TuningResult:
     """Rank all candidates analytically; execute the best.
 
@@ -92,8 +95,17 @@ def tune_with_model(
     result.  Candidates quarantined by supervision (see
     DESIGN.md "Failure model & recovery") are excluded from ranking;
     tuning only fails if *every* candidate was quarantined.
+
+    ``validate`` selects differential validation (``None`` inherits the
+    process-wide default, see ``repro.engine.set_default_validate``):
+    ``"winner"`` validates the selected winner against the NumPy
+    reference before returning (falling through to the next finalist on
+    failure), ``"all"`` validates every measured candidate.  On a
+    fault-free space validation never changes the winner -- it is a
+    check, not a perturbation.
     """
     cfg = config or default_config()
+    mode = resolve_validate(validate)
     t0 = time.perf_counter()
     ukernel_before = schedule_memo_stats().hits
     if resume_from is not None:
@@ -138,6 +150,8 @@ def tune_with_model(
     if run_best:
         data = feeds if feeds is not None else synthetic_feeds(compute)
         simulator: Evaluator = SimulatorEvaluator(data, cfg)
+        if mode == "all":
+            simulator = ValidatingEvaluator(simulator, cfg)
         if memoize:
             simulator = MemoizingEvaluator(
                 simulator, salt=_memo_salt(options, prefetch)
@@ -161,6 +175,35 @@ def tune_with_model(
             score.report = evaluation.report
         finalists.sort(key=lambda s: s.measured_cycles or float("inf"))
         best = finalists[0]
+        report = best.report
+
+    if mode != "off":
+        # winner validation: take the best candidate that passes the
+        # differential check; with mode "all" + run_best the evaluator
+        # wrapper already validated every measured finalist.
+        pool = (
+            [s for s in finalists if s.measured_cycles is not None]
+            if run_best
+            else scored
+        )
+        chosen = None
+        for score in pool:
+            if run_best and mode == "all":
+                chosen = score
+                break
+            try:
+                pipeline.validate(score.candidate)
+            except (ValidationError, SanitizerError):
+                continue
+            chosen = score
+            break
+        if chosen is None:
+            raise TuningError(
+                f"every candidate of {compute.name!r} failed "
+                f"differential validation; see the engine events for "
+                f"the failure chain"
+            )
+        best = chosen
         report = best.report
 
     wall = time.perf_counter() - t0

@@ -45,6 +45,7 @@ from ..ir.nodes import (
 from ..machine.config import MachineConfig, default_config
 from ..machine.dma import MEM_TO_SPM
 from ..machine.memory import MainMemory
+from ..machine.sanitizer import MachineSanitizer, resolve_sanitize
 from ..machine.spm import partition_extent
 from ..machine.trace import SimReport, Trace
 from ..optimizer.dma_inference import flatten_access, storage_shapes
@@ -57,6 +58,7 @@ from ..primitives.gemm_kernel import kernel_cycles
 class RunResult:
     outputs: Dict[str, np.ndarray]
     report: SimReport
+    sanitizer_checks: Optional[int] = None  # None when sanitizing was off
 
 
 class CompiledKernel:
@@ -67,10 +69,13 @@ class CompiledKernel:
         kernel: KernelNode,
         compute: ComputeDef,
         config: Optional[MachineConfig] = None,
+        *,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.kernel = kernel
         self.compute = compute
         self.config = config or default_config()
+        self.sanitize = resolve_sanitize(sanitize)
         self.spm_plan = plan_spm(kernel, self.config)  # validates capacity
         self.storage_shapes = storage_shapes(kernel, compute)
         self._validate()
@@ -109,9 +114,12 @@ class CompiledKernel:
         the operator contract, as in swDNN/xMath).  Output tensors are
         returned in logical order.
         """
+        from ..faults import maybe_corrupt_outputs
+
         state = _ExecState(self, feeds)
         state.execute(self.kernel.body, {})
         outputs = state.collect_outputs()
+        maybe_corrupt_outputs(self.compute, outputs)
         report = SimReport.from_trace(
             state.trace,
             makespan=state.now,
@@ -119,7 +127,11 @@ class CompiledKernel:
             config=self.config,
             detail=self.kernel.name,
         )
-        return RunResult(outputs=outputs, report=report)
+        return RunResult(
+            outputs=outputs,
+            report=report,
+            sanitizer_checks=None if state.san is None else state.san.checks,
+        )
 
     def time_only(self, feeds: Dict[str, np.ndarray]) -> SimReport:
         return self.run(feeds).report
@@ -146,8 +158,22 @@ class _ExecState:
             for d in find_all(ck.kernel, DmaCgNode)
             if d.direction == MEM_TO_SPM
         }
+        # the sanitizer is a single optional object; every hook below is
+        # guarded by ``if self.san is not None`` so the disabled path
+        # pays nothing beyond one identity check
+        self.san: Optional[MachineSanitizer] = (
+            MachineSanitizer(
+                ck.kernel, self.cfg, ck.spm_plan, ck.storage_shapes
+            )
+            if ck.sanitize
+            else None
+        )
         self._bind_tensors(feeds)
         self._bind_spm()
+        if self.san is not None:
+            self.san.set_dma_in_targets(self._dma_in_targets)
+            for name, buf in self._buffers.items():
+                self.san.bind_window(name, buf.addr, buf.nbytes)
 
     # --- setup -------------------------------------------------------------
     def _bind_tensors(self, feeds: Dict[str, np.ndarray]) -> None:
@@ -258,6 +284,8 @@ class _ExecState:
                 start = max(self.now, self.dma_free)
                 self.dma_free = start + cost
                 self._dma_move_in(dma, it_env, phase=i % 2)
+                if self.san is not None:
+                    self.san.mark_inflight(dma.spm, i % 2, i, dma)
                 self.trace.add(
                     "dma", start, start + cost,
                     detail=f"{dma.access.buffer}->spm:{dma.spm}",
@@ -271,6 +299,8 @@ class _ExecState:
         issue(0)
         for i in range(node.extent):
             self.now = max(self.now, pending.pop(i))
+            if self.san is not None:
+                self.san.complete_iteration(i)
             if i + 1 < node.extent:
                 issue(i + 1)
             for dma in dmas:
@@ -318,6 +348,9 @@ class _ExecState:
     def _dma_move_in(
         self, node: DmaCgNode, env: Dict[str, int], phase: int
     ) -> None:
+        if self.san is not None:
+            offs = [expr.evaluate(env) for expr, _ in node.access.dims]
+            self.san.dma_in(node, offs, phase)
         slices, _ = self._access_slices(node.access, env)
         tile = self._spm[node.spm][phase % len(self._spm[node.spm])]
         # zero first: boundary/padded tiles rely on clean pad lanes
@@ -326,6 +359,9 @@ class _ExecState:
         tile[region] = self._storage[node.access.buffer][slices]
 
     def _dma_move_out(self, node: DmaCgNode, env: Dict[str, int]) -> None:
+        if self.san is not None:
+            offs = [expr.evaluate(env) for expr, _ in node.access.dims]
+            self.san.dma_out(node, offs, self._read_phase[node.spm])
         slices, _ = self._access_slices(node.access, env)
         tile = self._spm[node.spm][self._read_phase[node.spm]]
         region = tuple(slice(0, length) for length in node.access.lengths)
@@ -403,6 +439,13 @@ class _ExecState:
         return np.ascontiguousarray(t).reshape(r, c), (r, c)
 
     def _exec_gemm(self, node: GemmOpNode) -> None:
+        if self.san is not None:
+            self.san.gemm(
+                node,
+                a_phase=self._read_phase[node.a_spm],
+                b_phase=self._read_phase[node.b_spm],
+                c_phase=self._read_phase[node.c_spm],
+            )
         a, (ar, ac) = self._matrix_view(node.a_spm, node.a_lens, node.a_map, False)
         b, (br, bc) = self._matrix_view(node.b_spm, node.b_lens, node.b_map, False)
         if (ar, ac) != (node.m, node.k) or (br, bc) != (node.k, node.n):
@@ -431,7 +474,10 @@ class _ExecState:
         # charge: functionally clearing them here would race the
         # prefetched phases of a pipelined loop.  Accumulator buffers
         # (never DMA-in targets) are genuinely cleared.
-        if node.spm not in self._dma_in_targets:
+        functional = node.spm not in self._dma_in_targets
+        if self.san is not None:
+            self.san.zero(node, functional)
+        if functional:
             for arr in self._spm[node.spm]:
                 arr[...] = 0.0
         alloc = self.ck.kernel.alloc(node.spm)

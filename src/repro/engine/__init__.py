@@ -72,6 +72,20 @@ from .search import (
     search_candidates,
     set_default_prune,
 )
+from .validate import (
+    VALIDATE_MODES,
+    ValidatingEvaluator,
+    ValidationReport,
+    compare_tensors,
+    default_validate,
+    reference_outputs,
+    resolve_validate,
+    set_default_validate,
+    tolerance_for,
+    validate_candidate,
+    validate_kernel,
+    validation_digest,
+)
 
 __all__ = [
     "AnalyticEvaluator",
@@ -90,7 +104,11 @@ __all__ = [
     "StageStats",
     "StrategyBound",
     "SupervisionPolicy",
+    "VALIDATE_MODES",
+    "ValidatingEvaluator",
+    "ValidationReport",
     "atomic_write_json",
+    "compare_tensors",
     "clear_feeds_cache",
     "clear_shared_memo",
     "clip_strategy",
@@ -99,24 +117,32 @@ __all__ = [
     "default_checkpoint_policy",
     "default_eval_store",
     "default_prune",
+    "default_validate",
     "default_workers",
     "definitely_infeasible",
     "evaluate_batch",
     "quarantine_corrupt",
     "recover_truncated_json",
+    "reference_outputs",
     "reset_degradation_warnings",
     "resolve_policy",
     "resolve_prune",
+    "resolve_validate",
     "resolve_workers",
     "search_candidates",
     "search_digest",
     "set_default_checkpoint",
     "set_default_policy",
     "set_default_prune",
+    "set_default_validate",
     "set_default_workers",
     "set_eval_cache",
     "shared_memo_size",
     "strategy_key",
     "strategy_bound",
     "synthetic_feeds",
+    "tolerance_for",
+    "validate_candidate",
+    "validate_kernel",
+    "validation_digest",
 ]

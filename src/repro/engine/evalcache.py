@@ -138,10 +138,17 @@ def atomic_write_json(path: Union[str, Path], payload: dict) -> None:
 
 def quarantine_corrupt(path: Union[str, Path], reason: str) -> Optional[Path]:
     """Move an unreadable persistence file to a ``*.corrupt`` sidecar
-    (replacing an older sidecar) and log why.  Returns the sidecar
-    path, or ``None`` when the move itself failed."""
+    and log why.  An existing sidecar is never clobbered -- repeated
+    corruption of the same path lands in ``*.corrupt.1``,
+    ``*.corrupt.2``, ... so every piece of post-mortem evidence
+    survives.  Returns the sidecar path, or ``None`` when the move
+    itself failed."""
     path = Path(path)
     sidecar = path.with_name(path.name + ".corrupt")
+    n = 0
+    while sidecar.exists():
+        n += 1
+        sidecar = path.with_name(f"{path.name}.corrupt.{n}")
     try:
         os.replace(path, sidecar)
     except OSError as exc:

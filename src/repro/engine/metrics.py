@@ -98,6 +98,8 @@ class EngineMetrics:
     optimization: StageStats = field(default_factory=StageStats)
     prediction: StageStats = field(default_factory=StageStats)
     execution: StageStats = field(default_factory=StageStats)
+    validation: StageStats = field(default_factory=StageStats)
+    validation_failures: int = 0
     memo_hits: int = 0
     ukernel_memo_hits: int = 0
     bound_pruned: int = 0
@@ -146,6 +148,8 @@ class EngineMetrics:
         self.optimization.merge(other.optimization)
         self.prediction.merge(other.prediction)
         self.execution.merge(other.execution)
+        self.validation.merge(other.validation)
+        self.validation_failures += other.validation_failures
         self.memo_hits += other.memo_hits
         self.ukernel_memo_hits += other.ukernel_memo_hits
         self.bound_pruned += other.bound_pruned
@@ -180,6 +184,11 @@ class EngineMetrics:
             f"predict {self.prediction.describe()}",
             f"execute {self.execution.describe()}",
         ]
+        if self.validation.count or self.validation_failures:
+            note = f"validate {self.validation.describe()}"
+            if self.validation_failures:
+                note += f" ({self.validation_failures} failed)"
+            parts.append(note)
         if self.bound_pruned or self.spm_pruned:
             considered = sum(b.considered for b in self.prune_batches)
             note = f"pruned {self.bound_pruned}/{considered}"

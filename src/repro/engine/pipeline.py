@@ -201,6 +201,29 @@ class CandidatePipeline:
             if limit is not None and legal >= limit:
                 return
 
+    # --- differential validation ------------------------------------------
+    def validate(self, candidate: Candidate, *, seed: int = 0):
+        """Differentially validate one prepared candidate against the
+        NumPy reference (charges ``metrics.validation``; failures also
+        count into ``metrics.validation_failures`` and the event trail
+        before re-raising)."""
+        from ..errors import SanitizerError, ValidationError
+        from .validate import validate_candidate
+
+        t0 = time.perf_counter()
+        try:
+            report = validate_candidate(candidate, self.config, seed=seed)
+        except (ValidationError, SanitizerError) as exc:
+            self.metrics.validation_failures += 1
+            kind = (
+                "sanitizer" if isinstance(exc, SanitizerError) else "validation"
+            )
+            self.metrics.record_event(kind, str(exc))
+            raise
+        finally:
+            self.metrics.validation.add(time.perf_counter() - t0)
+        return report
+
 
 def compile_strategy(
     compute: ComputeDef,
@@ -210,6 +233,7 @@ def compile_strategy(
     options: Optional[LoweringOptions] = None,
     prefetch: bool = True,
     clip: bool = True,
+    sanitize: Optional[bool] = None,
 ):
     """One strategy -> executable kernel (clipped to the compute's
     extents by default, as the sharded runners need)."""
@@ -219,4 +243,6 @@ def compile_strategy(
         compute, options=options, config=config, prefetch=prefetch
     )
     candidate = pipeline.prepare(strategy, clip=clip)
-    return CompiledKernel(candidate.kernel, compute, pipeline.config)
+    return CompiledKernel(
+        candidate.kernel, compute, pipeline.config, sanitize=sanitize
+    )

@@ -88,6 +88,84 @@ class CodegenError(ReproError):
     """Failure while emitting C code or building an executable kernel."""
 
 
+class SanitizerError(MachineError, CodegenError):
+    """The machine sanitizer caught an unsafe access during execution.
+
+    Raised only when sanitizing is enabled (``REPRO_SANITIZE=1``,
+    ``--sanitize`` or an explicit ``sanitize=True``); the same program
+    without the sanitizer would silently corrupt simulated machine
+    state.  Structured fields name the failed ``check`` (``spm-oob``,
+    ``mem-oob``, ``uninit-read``, ``phase-race``, ``regcomm-deadlock``,
+    ``regcomm-mismatch``), the IR ``node``, the ``buffer`` involved,
+    and -- where meaningful -- the offending ``byte_range``.
+
+    Also a :class:`CodegenError`: sanitizer failures happen while
+    executing a compiled kernel, so callers that already treat
+    CodegenError as "this kernel is bad" (tuner supervision, executor
+    tests) keep working with the sanitizer switched on.
+    """
+
+    def __init__(
+        self,
+        check: str,
+        message: str,
+        *,
+        node: str = "",
+        buffer: str = "",
+        byte_range=None,
+    ) -> None:
+        self.check = str(check)
+        self.node = str(node)
+        self.buffer = str(buffer)
+        self.byte_range = tuple(byte_range) if byte_range is not None else None
+        parts = [f"[{self.check}] {message}"]
+        if self.node:
+            parts.append(f"node={self.node}")
+        if self.buffer:
+            parts.append(f"buffer={self.buffer!r}")
+        if self.byte_range is not None:
+            lo, hi = self.byte_range
+            parts.append(f"bytes=[{lo}, {hi})")
+        super().__init__(" ".join(parts))
+
+
+class ValidationError(ReproError):
+    """Differential validation found the kernel's output wrong.
+
+    The lowered kernel ran to completion but its output disagrees with
+    the NumPy reference beyond the dtype-aware tolerance -- the kernel
+    computes the wrong numbers and must never be served from a cache.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: str = "",
+        tensor: str = "",
+        mismatches: int = 0,
+        max_abs_err: float = 0.0,
+        tolerance: float = 0.0,
+    ) -> None:
+        self.op = str(op)
+        self.tensor = str(tensor)
+        self.mismatches = int(mismatches)
+        self.max_abs_err = float(max_abs_err)
+        self.tolerance = float(tolerance)
+        parts = [message]
+        if self.op:
+            parts.append(f"op={self.op}")
+        if self.tensor:
+            parts.append(f"tensor={self.tensor!r}")
+        if self.mismatches:
+            parts.append(
+                f"mismatches={self.mismatches} "
+                f"max_abs_err={self.max_abs_err:.3g} "
+                f"tol={self.tolerance:.3g}"
+            )
+        super().__init__(" ".join(parts))
+
+
 class TuningError(ReproError):
     """Autotuner failure (e.g. empty schedule space after pruning)."""
 

@@ -60,7 +60,9 @@ __all__ = [
     "InjectedHang",
     "active_fault_plan",
     "candidate_digest",
+    "compute_digest",
     "current_attempt",
+    "maybe_corrupt_outputs",
     "set_current_attempt",
     "set_fault_plan",
 ]
@@ -205,6 +207,41 @@ def candidate_digest(candidate) -> str:
         strategy_key(candidate.strategy),
     )
     return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+def compute_digest(compute) -> str:
+    """Stable identity of one compute definition (no strategy).
+
+    Poison prefixes matched against *this* digest corrupt every kernel
+    lowered from that operator -- the hook differential validation and
+    the sanitizer-era end-to-end tests use to plant a silently wrong
+    kernel."""
+    from .engine.evaluators import compute_signature
+
+    return hashlib.sha256(
+        repr(compute_signature(compute)).encode()
+    ).hexdigest()
+
+
+def maybe_corrupt_outputs(compute, outputs) -> bool:
+    """Silently perturb a kernel's outputs when the active plan poisons
+    this operator's :func:`compute_digest`.
+
+    Called by the executor after every functional run; the perturbation
+    is deterministic and large relative to any dtype tolerance, so
+    differential validation *must* catch it.  Returns ``True`` when a
+    corruption was applied.  One ``None`` check when no plan is active.
+    """
+    plan = _ACTIVE_PLAN
+    if plan is None or not plan.poison:
+        return False
+    if not plan.is_poison(compute_digest(compute)):
+        return False
+    for arr in outputs.values():
+        flat = arr.reshape(-1)
+        if flat.size:
+            flat[0] += max(1.0, abs(float(flat[0])))
+    return True
 
 
 #: attempt number of the evaluation currently running in *this*

@@ -37,7 +37,13 @@ from .runner import (
     run_conv_winograd,
     run_gemm,
 )
-from .report import Table, resilience_note, speedup_summary, stage_note
+from .report import (
+    Table,
+    resilience_note,
+    sanitizer_note,
+    speedup_summary,
+    stage_note,
+)
 from .scales import Scale, get_scale
 
 BASELINE_OF = {"implicit": "swdnn", "winograd": "manual", "explicit": "manual"}
@@ -424,6 +430,9 @@ class TuningTimeResult:
             fault_note = resilience_note(merged, label=f"{net} resilience")
             if fault_note is not None:
                 t.note(fault_note)
+            safety_note = sanitizer_note(merged, label=f"{net} safety")
+            if safety_note is not None:
+                t.note(safety_note)
         t.note(
             "paper: spaces 4068/7064/5112; black-box 47h50m/83h6m/60h10m "
             "vs swATOP 6m21s/14m7s/9m53s (454x/353x/365x)"

@@ -96,6 +96,27 @@ def resilience_note(
     return f"{label}: {metrics.describe_events()}"
 
 
+def sanitizer_note(
+    metrics: Optional[EngineMetrics], label: str = "safety"
+) -> Optional[str]:
+    """One table-note line of the execution-safety audit: differential
+    validations performed (and how many failed) plus sanitizer events.
+    ``None`` when the run neither validated nor sanitized anything, so
+    tables from an unchecked run stay byte-identical."""
+    if metrics is None:
+        return None
+    counts = metrics.event_counts()
+    flagged = counts.get("sanitizer", 0) + counts.get("validation", 0)
+    if not (metrics.validation.count or metrics.validation_failures or flagged):
+        return None
+    parts = [f"validated {metrics.validation.count}"]
+    if metrics.validation_failures:
+        parts.append(f"{metrics.validation_failures} failed")
+    if counts.get("sanitizer"):
+        parts.append(f"{counts['sanitizer']} sanitizer event(s)")
+    return f"{label}: " + ", ".join(parts)
+
+
 def speedup_summary(speedups: Iterable[float]) -> Dict[str, float]:
     """The Tab. 1/2 style aggregate: counts and average gains/losses."""
     ups = list(speedups)

@@ -65,6 +65,9 @@ class OperatorRun:
     #: (None for single-phase runs) -- what the library's strided cache
     #: persists.
     phase_strategies: Optional[List[ScheduleStrategy]] = None
+    #: set when this run is a graceful fallback from a quarantined
+    #: kernel (sanitizer / validation failure) -- the structured reason.
+    fallback_reason: Optional[str] = None
 
     @property
     def cycles(self) -> float:

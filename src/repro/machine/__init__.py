@@ -21,6 +21,13 @@ from .dma import (
 from .memory import Buffer, MainMemory, transaction_bytes
 from .pipeline import Instr, ScheduleResult, schedule, steady_state_cycles
 from .regcomm import CommPattern, RegCommMesh, gemm_broadcast_plan
+from .sanitizer import (
+    MachineSanitizer,
+    RegCommChecker,
+    resolve_sanitize,
+    sanitize_default,
+    set_sanitize,
+)
 from .spm import SpmAllocator, SpmBuffer, SpmPlan, partition_extent, tile_bytes_per_cpe
 from .trace import SimReport, Trace, TraceEvent
 from .trace_export import render_timeline, to_chrome_trace
@@ -43,6 +50,11 @@ __all__ = [
     "steady_state_cycles",
     "CommPattern",
     "RegCommMesh",
+    "MachineSanitizer",
+    "RegCommChecker",
+    "set_sanitize",
+    "sanitize_default",
+    "resolve_sanitize",
     "gemm_broadcast_plan",
     "DmaDescriptor",
     "DmaEngine",

@@ -25,6 +25,7 @@ from .cpe import Cpe
 from .dma import MEM_TO_SPM, SPM_TO_MEM, DmaDescriptor, DmaEngine
 from .memory import MainMemory
 from .regcomm import RegCommMesh
+from .sanitizer import RegCommChecker, sanitize_default
 from .spm import partition_extent
 from .trace import Trace
 
@@ -41,6 +42,8 @@ class CpeCluster:
         self.memory = memory or MainMemory(config=self.config)
         self.dma = DmaEngine(self.memory, self.config)
         self.mesh = RegCommMesh(self.config)
+        if sanitize_default():
+            self.mesh.attach_checker(RegCommChecker())
         self.cpes: List[Cpe] = [
             Cpe(r, c, self.config)
             for r in range(self.config.cluster_rows)

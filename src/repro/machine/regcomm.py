@@ -48,12 +48,26 @@ class CommPattern:
 class RegCommMesh:
     """Functional + timing model of the cluster's register buses."""
 
-    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        *,
+        checker=None,
+    ) -> None:
         self.config = config or default_config()
         self._last_pattern: Optional[CommPattern] = None
         self.cycles_used: float = 0.0
         self.bytes_moved: int = 0
         self.switches: int = 0
+        # optional sanitizer protocol checker (RegCommChecker); the
+        # outstanding put/get mailbox is tracked even without one so
+        # the async API below has functional semantics either way
+        self.checker = checker
+        self._outstanding = None
+
+    def attach_checker(self, checker) -> None:
+        """Attach a sanitizer :class:`RegCommChecker` (or ``None``)."""
+        self.checker = checker
 
     # --- timing -----------------------------------------------------------
     def burst_cycles(self, payload_bytes: int, pattern: CommPattern) -> float:
@@ -80,6 +94,40 @@ class RegCommMesh:
         self.cycles_used = 0.0
         self.bytes_moved = 0
         self.switches = 0
+        self._outstanding = None
+
+    # --- asynchronous put/get protocol --------------------------------------
+    def put(
+        self,
+        grid: List[List[Optional[np.ndarray]]],
+        pattern: CommPattern,
+    ) -> None:
+        """Producer side of one bus transaction: latch ``grid`` on the
+        bus under ``pattern``.  The bus is a one-deep mailbox -- real
+        producers block until the matching :meth:`get` drains it, so a
+        second ``put`` first is a protocol deadlock."""
+        if self.checker is not None:
+            self.checker.record_put(pattern)
+        if self._outstanding is not None:
+            raise RegCommError(
+                "put before the previous transaction was drained by get"
+            )
+        self._outstanding = (grid, pattern)
+
+    def get(self, pattern: CommPattern) -> List[List[np.ndarray]]:
+        """Consumer side: drain the outstanding transaction.  The
+        declared pattern must match what the producer put."""
+        if self.checker is not None:
+            self.checker.record_get(pattern)
+        if self._outstanding is None:
+            raise RegCommError("get with no outstanding put")
+        grid, put_pattern = self._outstanding
+        if pattern != put_pattern:
+            raise RegCommError(
+                f"get pattern {pattern} does not match put {put_pattern}"
+            )
+        self._outstanding = None
+        return self.broadcast(grid, pattern)
 
     # --- functional ---------------------------------------------------------
     def broadcast(
@@ -97,6 +145,8 @@ class RegCommMesh:
         """
         cfg = self.config
         rows, cols = cfg.cluster_rows, cfg.cluster_cols
+        if self.checker is not None:
+            self.checker.record_broadcast(grid, pattern, cfg)
         if len(grid) != rows or any(len(row) != cols for row in grid):
             raise RegCommError(
                 f"grid must be {rows}x{cols}, got "

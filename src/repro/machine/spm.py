@@ -50,6 +50,15 @@ class SpmPlan:
     def offset_of(self, name: str) -> int:
         return self.buffers[name].offset
 
+    def buffer_at(self, byte_offset: int) -> Optional[str]:
+        """Name of the buffer whose reserved region contains
+        ``byte_offset``, or ``None`` for a gap / past-the-end offset.
+        The sanitizer uses this to name the victim of an SPM overflow."""
+        for name, buf in self.buffers.items():
+            if buf.offset <= byte_offset < buf.offset + buf.reserved_bytes:
+                return name
+        return None
+
     def __contains__(self, name: str) -> bool:
         return name in self.buffers
 

@@ -3,15 +3,28 @@ library, and whole-network execution (the paper's "offline compiler /
 online autotuning" deployment modes)."""
 
 from .cache import CacheError, KernelCache, TunedEntry
-from .library import AtopLibrary, LibraryStats
-from .network import LayerResult, NetworkResult, run_network
+from .library import (
+    AtopLibrary,
+    KernelFallbackWarning,
+    LibraryStats,
+    MPE_FALLBACK_FLOPS,
+)
+from .network import (
+    FALLBACK_METHODS,
+    LayerResult,
+    NetworkResult,
+    run_network,
+)
 
 __all__ = [
     "KernelCache",
     "TunedEntry",
     "CacheError",
     "AtopLibrary",
+    "KernelFallbackWarning",
     "LibraryStats",
+    "MPE_FALLBACK_FLOPS",
+    "FALLBACK_METHODS",
     "run_network",
     "NetworkResult",
     "LayerResult",

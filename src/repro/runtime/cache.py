@@ -48,15 +48,23 @@ class TunedEntry:
     strategy: ScheduleStrategy
     predicted_cycles: Optional[float] = None
     measured_cycles: Optional[float] = None
+    #: digest recorded when the kernel last passed differential
+    #: validation (see :func:`repro.engine.validation_digest`).  ``None``
+    #: (older cache files) or a stale value marks the entry untrusted:
+    #: the library revalidates it on the next hit before believing it.
+    validation_digest: Optional[str] = None
 
     def to_json(self) -> Dict:
-        return {
+        data = {
             "decisions": {
                 k: _encode_value(v) for k, v in self.strategy.decisions.items()
             },
             "predicted_cycles": self.predicted_cycles,
             "measured_cycles": self.measured_cycles,
         }
+        if self.validation_digest is not None:
+            data["validation_digest"] = self.validation_digest
+        return data
 
     @classmethod
     def from_json(cls, data: Dict) -> "TunedEntry":
@@ -70,6 +78,7 @@ class TunedEntry:
             strategy=ScheduleStrategy(decisions),
             predicted_cycles=data.get("predicted_cycles"),
             measured_cycles=data.get("measured_cycles"),
+            validation_digest=data.get("validation_digest"),
         )
 
 
@@ -85,6 +94,9 @@ class KernelCache:
         #: tolerant-load accounting (``load(strict=False)``)
         self.skipped_entries = 0
         self.quarantined_path: Optional[Path] = None
+        #: keys dropped by :meth:`quarantine` (kernel failed the
+        #: sanitizer or differential validation at use time)
+        self.quarantined_keys: list = []
 
     def __contains__(self, key: str) -> bool:
         return key in self._entries
@@ -125,6 +137,18 @@ class KernelCache:
 
     def keys(self):
         return list(self._entries)
+
+    def quarantine(self, key: str) -> Optional[TunedEntry]:
+        """Drop a cached strategy whose kernel failed the sanitizer or
+        differential validation at use time; the next call for the key
+        re-tunes from scratch.  Returns the dropped entry (``None`` if
+        the key was absent) and records the key in
+        ``quarantined_keys``."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self.quarantined_keys.append(key)
+            logger.warning("quarantined kernel cache entry %r", key)
+        return entry
 
     # --- persistence ------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:

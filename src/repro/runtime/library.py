@@ -6,18 +6,32 @@ library and get exact results plus simulated timing.  The first call
 for a new configuration tunes it (the paper's "online autotuning"
 integration mode); later calls hit the kernel cache.  A warmed cache
 can be saved and shipped (the "offline compiler" mode).
+
+Execution safety (see DESIGN.md "Execution safety model"): cached
+kernels are only *trusted* while their recorded validation digest is
+fresh.  A hit whose digest is stale (or absent -- older cache files)
+is revalidated against the NumPy reference before its output is
+believed; a kernel that fails the check -- or trips the machine
+sanitizer -- is quarantined from the cache and the call gracefully
+falls back to the reference implementation, timed as unported MPE-side
+execution.  The caller always gets a correct result; the fallback is
+visible in :class:`LibraryStats`, on
+:attr:`~repro.harness.runner.OperatorRun.fallback_reason`, and as one
+:class:`KernelFallbackWarning` per affected cache key.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
-from ..engine import compile_strategy
-from ..errors import WorkloadError
+from ..engine import compile_strategy, resolve_validate, validation_digest
+from ..engine.validate import compare_tensors
+from ..errors import SanitizerError, ValidationError, WorkloadError
 from ..harness.runner import (
     CONV_RUNNERS,
     OperatorRun,
@@ -26,11 +40,29 @@ from ..harness.runner import (
     _shard_input,
 )
 from ..machine.config import MachineConfig, default_config
-from ..ops import select_method
+from ..machine.sanitizer import set_sanitize
+from ..machine.trace import SimReport
+from ..ops import conv2d_reference, select_method
 from ..ops.conv_common import ConvParams
 from ..ops.gemm import make_compute as gemm_compute
 from ..ops.gemm import make_space as gemm_space
 from .cache import KernelCache, TunedEntry
+
+#: sustained FLOP rate of the unported fallback path: one scalar FMA
+#: pipeline at 1.5 GHz with realistic memory stalls.  Both the
+#: never-ported layers of :func:`~repro.runtime.network.run_network`
+#: and the quarantine fallback here are timed at this rate.
+MPE_FALLBACK_FLOPS = 2.2e9
+
+#: library-level differential tolerances -- the operator-level bounds
+#: the runtime test-suite has always held tuned kernels to.
+CONV_RTOL, CONV_ATOL = 1e-3, 1e-2
+GEMM_RTOL, GEMM_ATOL = 1e-4, 1e-3
+
+
+class KernelFallbackWarning(UserWarning):
+    """A cached kernel was quarantined and its call served by the
+    reference fallback (emitted once per cache key)."""
 
 
 @dataclass
@@ -38,6 +70,12 @@ class LibraryStats:
     tuned: int = 0
     cache_hits: int = 0
     simulated_cycles: float = 0.0
+    #: differential validations actually performed (stale digests)
+    validations: int = 0
+    #: calls served by the reference fallback after a kernel failure
+    fallbacks: int = 0
+    #: cache entries dropped because their kernel failed at use time
+    quarantined: int = 0
 
 
 class AtopLibrary:
@@ -50,6 +88,8 @@ class AtopLibrary:
         quick: bool = True,
         cache_path: Optional[Union[str, Path]] = None,
         eval_cache_path: Optional[Union[str, Path]] = None,
+        validate: Optional[str] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.config = config or default_config()
         self.quick = quick
@@ -67,7 +107,17 @@ class AtopLibrary:
             from ..engine import set_eval_cache
 
             set_eval_cache(eval_cache_path)
+        #: validation mode for library calls (``None`` inherits the
+        #: process-wide default, see ``repro.engine.set_default_validate``)
+        self.validate = (
+            validate if validate is None else resolve_validate(validate)
+        )
+        if sanitize is not None:
+            # like ``set_eval_cache`` above this installs process-wide
+            # state: the executor consults the sanitizer default.
+            set_sanitize(bool(sanitize))
         self.stats = LibraryStats()
+        self._warned_keys: set = set()
 
     # --- keys ------------------------------------------------------------
     @staticmethod
@@ -88,7 +138,9 @@ class AtopLibrary:
         method: Optional[str] = None,
     ) -> OperatorRun:
         """Tuned convolution; method auto-selected per the paper's
-        policy unless forced."""
+        policy unless forced.  A cached kernel that fails the sanitizer
+        or differential validation is quarantined and the call served
+        by the reference fallback."""
         if params.stride > 1:
             return self._conv2d_strided(x, w, params, method=method)
         method = method or select_method(params)
@@ -96,25 +148,40 @@ class AtopLibrary:
             raise WorkloadError(f"unknown conv method {method!r}")
         key = self.conv_key(method, params)
         entry = self.cache.get(key)
-        if entry is None:
-            run = CONV_RUNNERS[method](
-                params, x, w, library="swatop",
-                quick=self.quick, config=self.config,
-            )
-            assert run.tuning is not None
-            self.cache.put(
-                key,
-                TunedEntry(
+        try:
+            if entry is None:
+                run = CONV_RUNNERS[method](
+                    params, x, w, library="swatop",
+                    quick=self.quick, config=self.config,
+                )
+                assert run.tuning is not None
+                entry = TunedEntry(
                     strategy=run.tuning.best.candidate.strategy,
                     predicted_cycles=run.tuning.best.predicted_cycles,
                     measured_cycles=run.cycles,
-                ),
+                )
+                self.cache.put(key, entry)
+                self.stats.tuned += 1
+                self._certify(
+                    key, entry, run.output,
+                    lambda: conv2d_reference(x, w, params),
+                    rtol=CONV_RTOL, atol=CONV_ATOL,
+                )
+                self._autosave()
+            else:
+                self.stats.cache_hits += 1
+                run = self._run_cached_conv(method, params, x, w, entry)
+                self._certify(
+                    key, entry, run.output,
+                    lambda: conv2d_reference(x, w, params),
+                    rtol=CONV_RTOL, atol=CONV_ATOL,
+                )
+        except (SanitizerError, ValidationError) as exc:
+            run = self._fallback(
+                [key], exc,
+                output=conv2d_reference(x, w, params),
+                flops=params.flops,
             )
-            self.stats.tuned += 1
-            self._autosave()
-        else:
-            self.stats.cache_hits += 1
-            run = self._run_cached_conv(method, params, x, w, entry)
         self.stats.simulated_cycles += run.cycles
         return run
 
@@ -123,27 +190,45 @@ class AtopLibrary:
         n = b.shape[1]
         key = self.gemm_key(m, n, k)
         entry = self.cache.get(key)
-        if entry is None:
-            run = run_gemm(
-                a, b, library="swatop", quick=self.quick, config=self.config
-            )
-            assert run.tuning is not None
-            self.cache.put(
-                key,
-                TunedEntry(
+
+        def reference() -> np.ndarray:
+            return np.asarray(a, np.float64) @ np.asarray(b, np.float64)
+
+        try:
+            if entry is None:
+                run = run_gemm(
+                    a, b, library="swatop", quick=self.quick,
+                    config=self.config,
+                )
+                assert run.tuning is not None
+                entry = TunedEntry(
                     strategy=run.tuning.best.candidate.strategy,
                     measured_cycles=run.cycles,
-                ),
+                )
+                self.cache.put(key, entry)
+                self.stats.tuned += 1
+                self._certify(
+                    key, entry, run.output, reference,
+                    rtol=GEMM_RTOL, atol=GEMM_ATOL,
+                )
+                self._autosave()
+            else:
+                self.stats.cache_hits += 1
+                compute = gemm_compute(m, n, k)
+                ck = compile_strategy(compute, entry.strategy, self.config)
+                res = ck.run({"A": np.asarray(a, np.float32),
+                              "B": np.asarray(b, np.float32)})
+                run = OperatorRun(report=res.report, output=res.outputs["C"])
+                self._certify(
+                    key, entry, run.output, reference,
+                    rtol=GEMM_RTOL, atol=GEMM_ATOL,
+                )
+        except (SanitizerError, ValidationError) as exc:
+            run = self._fallback(
+                [key], exc,
+                output=reference().astype(np.float32),
+                flops=2.0 * m * n * k,
             )
-            self.stats.tuned += 1
-            self._autosave()
-        else:
-            self.stats.cache_hits += 1
-            compute = gemm_compute(m, n, k)
-            ck = compile_strategy(compute, entry.strategy, self.config)
-            res = ck.run({"A": np.asarray(a, np.float32),
-                          "B": np.asarray(b, np.float32)})
-            run = OperatorRun(report=res.report, output=res.outputs["C"])
         self.stats.simulated_cycles += run.cycles
         return run
 
@@ -161,7 +246,9 @@ class AtopLibrary:
 
         The winning per-phase strategies are cached under
         ``conv:strided:`` keys, so repeat strided calls replay without
-        re-tuning, exactly like the unit-stride path.
+        re-tuning, exactly like the unit-stride path.  A failing cached
+        replay quarantines *all* phase keys (the phases were tuned as
+        one decomposition) and falls back to the reference.
         """
         from ..harness.runner import run_conv_strided
         from ..ops import strided
@@ -174,25 +261,37 @@ class AtopLibrary:
             for i in range(n_phases)
         ]
         entries = [self.cache.get(k) for k in keys]
-        if all(e is not None for e in entries):
-            run = run_conv_strided(
-                params, x, w, library="swatop", method=method,
-                quick=self.quick, config=self.config,
-                strategies=[e.strategy for e in entries],
+        try:
+            if all(e is not None for e in entries):
+                run = run_conv_strided(
+                    params, x, w, library="swatop", method=method,
+                    quick=self.quick, config=self.config,
+                    strategies=[e.strategy for e in entries],
+                )
+                self.stats.cache_hits += 1
+                self._certify(
+                    keys[0], entries[0], run.output,
+                    lambda: conv2d_reference(x, w, params),
+                    rtol=CONV_RTOL, atol=CONV_ATOL,
+                )
+            else:
+                run = run_conv_strided(
+                    params, x, w, library="swatop", method=method,
+                    quick=self.quick, config=self.config,
+                )
+                if run.phase_strategies is not None:
+                    for key, strategy in zip(keys, run.phase_strategies):
+                        self.cache.put(
+                            key, TunedEntry(strategy=strategy), overwrite=True
+                        )
+                    self._autosave()
+                self.stats.tuned += 1
+        except (SanitizerError, ValidationError) as exc:
+            run = self._fallback(
+                keys, exc,
+                output=conv2d_reference(x, w, params),
+                flops=params.flops,
             )
-            self.stats.cache_hits += 1
-        else:
-            run = run_conv_strided(
-                params, x, w, library="swatop", method=method,
-                quick=self.quick, config=self.config,
-            )
-            if run.phase_strategies is not None:
-                for key, strategy in zip(keys, run.phase_strategies):
-                    self.cache.put(
-                        key, TunedEntry(strategy=strategy), overwrite=True
-                    )
-                self._autosave()
-            self.stats.tuned += 1
         self.stats.simulated_cycles += run.cycles
         return run
 
@@ -212,6 +311,80 @@ class AtopLibrary:
         return runner(
             params, x, w, library="swatop", config=self.config,
             strategy=entry.strategy,
+        )
+
+    def _certify(
+        self,
+        key: str,
+        entry: TunedEntry,
+        output: Optional[np.ndarray],
+        reference: Callable[[], np.ndarray],
+        *,
+        rtol: float,
+        atol: float,
+    ) -> None:
+        """Trust gate for a kernel's output.
+
+        No-op when validation is off or the entry's recorded digest is
+        fresh (the kernel already proved itself under the current
+        strategy and salt).  Otherwise the output is differentially
+        compared against the reference: success stamps the digest onto
+        the entry (persisted, so the check amortizes to zero), failure
+        raises :class:`~repro.errors.ValidationError` for the caller's
+        quarantine-and-fall-back path.
+        """
+        mode = resolve_validate(self.validate)
+        if mode == "off" or output is None:
+            return
+        digest = validation_digest(key, entry.strategy)
+        if entry.validation_digest == digest:
+            return
+        self.stats.validations += 1
+        compare_tensors(
+            output, reference(), rtol=rtol, atol=atol,
+            op=key, tensor="output",
+        )
+        entry.validation_digest = digest
+        self._autosave()
+
+    def _fallback(
+        self,
+        keys: Sequence[str],
+        exc: Exception,
+        *,
+        output: np.ndarray,
+        flops: float,
+    ) -> OperatorRun:
+        """Quarantine the offending cache entries and serve the call
+        from the reference implementation, timed as unported MPE-side
+        execution (the honest cost of not trusting the kernel)."""
+        for key in keys:
+            if self.cache.quarantine(key) is not None:
+                self.stats.quarantined += 1
+        self.stats.fallbacks += 1
+        self._autosave()
+        lead = keys[0] if keys else "<unknown>"
+        if lead not in self._warned_keys:
+            self._warned_keys.add(lead)
+            warnings.warn(
+                f"kernel {lead!r} quarantined "
+                f"({type(exc).__name__}: {exc}); serving the reference "
+                f"fallback",
+                KernelFallbackWarning,
+                stacklevel=3,
+            )
+        seconds = flops / MPE_FALLBACK_FLOPS
+        report = SimReport(
+            cycles=self.config.seconds_to_cycles(seconds),
+            compute_cycles=self.config.seconds_to_cycles(seconds),
+            flops=flops,
+            config=self.config,
+            detail="validation-fallback",
+        )
+        return OperatorRun(
+            report=report,
+            output=output,
+            fallback_reason=f"{type(exc).__name__}: {exc}",
         )
 
     def _autosave(self) -> None:

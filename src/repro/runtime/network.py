@@ -21,11 +21,14 @@ from ..machine.trace import SimReport
 from ..ops import applicable_methods, conv2d_reference
 from ..ops.conv_common import ConvParams
 from ..workloads.networks import LayerSpec, network
-from .library import AtopLibrary
+# MPE_FALLBACK_FLOPS moved to the library (the quarantine fallback is
+# timed at the same rate); re-exported here for older importers.
+from .library import AtopLibrary, MPE_FALLBACK_FLOPS
 
-#: sustained FLOP rate of the unported MPE fallback path: one scalar
-#: FMA pipeline at 1.5 GHz with realistic memory stalls.
-MPE_FALLBACK_FLOPS = 2.2e9
+#: layer methods that mean "the tuned kernel did not serve this layer":
+#: never-ported layers (``mpe-fallback``) and layers whose cached
+#: kernel was quarantined at use time (``validation-fallback``).
+FALLBACK_METHODS = ("mpe-fallback", "validation-fallback")
 
 
 @dataclass
@@ -54,8 +57,17 @@ class NetworkResult:
     def total_seconds(self) -> float:
         return sum(l.report.seconds for l in self.layers)
 
+    @property
+    def fallback_layers(self) -> int:
+        """How many layers the tuned library did not serve (unported
+        or quarantined)."""
+        return sum(1 for l in self.layers if l.method in FALLBACK_METHODS)
+
     def fallback_fraction(self) -> float:
-        fb = sum(l.cycles for l in self.layers if l.method == "mpe-fallback")
+        """Cycle-weighted share of the forward pass spent on fallback
+        paths -- unported layers *and* layers whose cached kernel was
+        quarantined by the sanitizer / differential validation."""
+        fb = sum(l.cycles for l in self.layers if l.method in FALLBACK_METHODS)
         return fb / self.total_cycles if self.total_cycles else 0.0
 
     def summary(self) -> str:
@@ -110,7 +122,12 @@ def run_network(
         if methods or strided_ok:
             run = lib.conv2d(x, w, params)
             out = run.output
-            if params.stride > 1:
+            if run.fallback_reason is not None:
+                # the library quarantined a bad kernel mid-pass and
+                # served the reference instead -- account it as a
+                # fallback layer, not a tuned one.
+                method = "validation-fallback"
+            elif params.stride > 1:
                 method = "strided-implicit"
             else:
                 from ..ops.selector import select_method

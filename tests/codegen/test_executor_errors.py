@@ -1,22 +1,26 @@
 """Error-path tests for the executor: every malformed kernel must fail
 loudly, never compute garbage silently."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
 from repro.codegen.executor import CompiledKernel, _ExecState
 from repro.dsl import ScheduleSpace
-from repro.errors import CodegenError
+from repro.errors import CodegenError, SanitizerError
 from repro.ir import (
     AffineExpr,
     AllocSpmNode,
     DmaCgNode,
     DmaGeometry,
+    ForNode,
     GemmOpNode,
     KernelNode,
     SeqNode,
     TileAccess,
 )
+from repro.ir.visitors import transform
 from repro.machine.dma import MEM_TO_SPM
 from repro.primitives.microkernel import ALL_VARIANTS
 from repro.scheduler import Candidate, lower_strategy
@@ -31,6 +35,14 @@ def compiled(M=64, N=64, K=64):
     sp.split("M", [32]); sp.split("N", [32]); sp.split("K", [32])
     strat = sp.strategy()
     return cd, compile_candidate(Candidate(strat, lower_strategy(cd, strat), cd))
+
+
+def _feeds(M=64, N=64, K=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "A": rng.standard_normal((M, K)).astype(np.float32),
+        "B": rng.standard_normal((K, N)).astype(np.float32),
+    }
 
 
 class TestFeedValidation:
@@ -126,3 +138,97 @@ class TestFeedValidation:
         }
         with pytest.raises(CodegenError):
             bad.run(feeds)
+
+
+class TestMachineSanitizer:
+    """Sanitized runs turn silent machine-level corruption into
+    structured errors naming the IR node, the buffer and the bytes."""
+
+    def test_oob_dma_names_node_buffer_and_bytes(self):
+        """A DMA whose geometry escapes its bound main-memory window is
+        a structured ``mem-oob``, not a stray numpy IndexError."""
+        cd, ck = compiled()
+
+        def corrupt(n):
+            if isinstance(n, DmaCgNode) and n.access.buffer == "A":
+                dims = ((AffineExpr(1000), 32), n.access.dims[1])
+                return DmaCgNode(
+                    TileAccess("A", dims), n.spm, n.direction,
+                    n.reply, n.geometry, n.phase_var,
+                )
+            return None
+
+        bad = CompiledKernel(transform(ck.kernel, corrupt), cd, sanitize=True)
+        with pytest.raises(SanitizerError) as exc:
+            bad.run(_feeds())
+        err = exc.value
+        assert err.check == "mem-oob"
+        assert err.buffer == "A"
+        assert "dma[A->spm:" in err.node
+        assert err.byte_range is not None and err.byte_range[1] > err.byte_range[0]
+        # still a CodegenError: pre-sanitizer error-handling keeps working
+        assert isinstance(err, CodegenError)
+
+    def test_double_buffer_phase_race_detected(self):
+        """A synchronous DMA buried in a nested loop of a pipelined
+        body touches the phase the stream prefetch is still filling --
+        the verifier cannot see through the nested loop, the sanitizer
+        catches it at execution."""
+        cd, ck = compiled(K=96)  # stream extent 3: iteration 1 races
+        done = []
+
+        def inject(n):
+            if isinstance(n, ForNode) and n.pipelined and not done:
+                done.append(n)
+                from repro.optimizer.prefetch import direct_stream_dmas
+
+                dma = direct_stream_dmas(n)[0]
+                wrapped = ForNode("san_race", 1, SeqNode([replace(dma)]))
+                return ForNode(
+                    n.var, n.extent, SeqNode([wrapped, n.body]),
+                    pipelined=True,
+                )
+            return None
+
+        bad = CompiledKernel(transform(ck.kernel, inject), cd, sanitize=True)
+        with pytest.raises(SanitizerError) as exc:
+            bad.run(_feeds(K=96))
+        err = exc.value
+        assert err.check == "phase-race"
+        assert err.buffer == "spm_a"
+        assert "dma[A->spm:spm_a]" in err.node
+
+    def test_unfed_spm_read_detected(self):
+        """Dropping a stream DMA leaves the GEMM reading SPM bytes
+        nothing ever wrote: ``uninit-read`` naming the operand buffer."""
+        cd, ck = compiled()
+
+        def drop(n):
+            if (
+                isinstance(n, DmaCgNode)
+                and n.access.buffer == "A"
+                and n.direction == MEM_TO_SPM
+            ):
+                return SeqNode([])
+            return None
+
+        bad = CompiledKernel(transform(ck.kernel, drop), cd, sanitize=True)
+        with pytest.raises(SanitizerError) as exc:
+            bad.run(_feeds())
+        err = exc.value
+        assert err.check == "uninit-read"
+        assert err.buffer == "spm_a"
+        assert err.node.startswith("gemm[")
+        assert err.byte_range is not None
+
+    def test_sanitizer_off_by_default_and_costless(self, monkeypatch):
+        """Without opt-in the executor holds no sanitizer at all:
+        results identical, ``sanitizer_checks`` unset."""
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        cd, ck = compiled()
+        feeds = _feeds()
+        plain = ck.run(feeds)
+        assert plain.sanitizer_checks is None
+        san = CompiledKernel(ck.kernel, cd, sanitize=True).run(feeds)
+        assert san.sanitizer_checks and san.sanitizer_checks > 0
+        np.testing.assert_array_equal(plain.outputs["C"], san.outputs["C"])

@@ -224,3 +224,26 @@ class TestProcessWideDefault:
             assert path.exists()  # no explicit flush() needed
         finally:
             set_eval_cache(before)
+
+
+class TestQuarantineSidecars:
+    def test_repeated_corruption_never_clobbers_evidence(self, tmp_path):
+        """Each quarantine gets its own sidecar: ``.corrupt``,
+        ``.corrupt.1``, ... -- a second corruption must not overwrite
+        the first post-mortem."""
+        from repro.engine.evalcache import quarantine_corrupt
+
+        path = tmp_path / "store.json"
+        path.write_text("first corruption")
+        s1 = quarantine_corrupt(path, "test")
+        assert s1 == tmp_path / "store.json.corrupt"
+        path.write_text("second corruption")
+        s2 = quarantine_corrupt(path, "test")
+        assert s2 == tmp_path / "store.json.corrupt.1"
+        path.write_text("third corruption")
+        s3 = quarantine_corrupt(path, "test")
+        assert s3 == tmp_path / "store.json.corrupt.2"
+        assert s1.read_text() == "first corruption"
+        assert s2.read_text() == "second corruption"
+        assert s3.read_text() == "third corruption"
+        assert not path.exists()
